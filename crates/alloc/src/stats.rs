@@ -1,0 +1,81 @@
+//! Allocation statistics, used by the benchmark harness to report the
+//! contrast between the pooled and serialized allocators (§4 of the
+//! paper) and by tests to assert leak-freedom.
+
+/// Counters exported by a [`crate::RuntimeAllocator`]. All values are
+/// monotone except `live`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocations served from a thread-private magazine.
+    pub pool_hits: u64,
+    /// Allocations that had to visit the shared free list / slab carver.
+    pub pool_misses: u64,
+    /// Bytes of slab memory currently reserved from the OS.
+    pub slab_bytes: u64,
+    /// Currently outstanding allocations.
+    pub live: u64,
+    /// Requests too large/over-aligned for the pool (system passthrough).
+    pub oversize: u64,
+}
+
+impl AllocStats {
+    /// Fraction of allocations served without touching shared state.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
+impl core::fmt::Display for AllocStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} hit_rate={:.1}% slab_bytes={} live={} oversize={}",
+            self.pool_hits,
+            self.pool_misses,
+            self.hit_rate() * 100.0,
+            self.slab_bytes,
+            self.live,
+            self.oversize
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_zero_when_untouched() {
+        assert_eq!(AllocStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_computes_fraction() {
+        let s = AllocStats {
+            pool_hits: 3,
+            pool_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = AllocStats {
+            pool_hits: 5,
+            pool_misses: 5,
+            slab_bytes: 1024,
+            live: 2,
+            oversize: 1,
+        };
+        let text = s.to_string();
+        assert!(text.contains("hits=5"));
+        assert!(text.contains("50.0%"));
+        assert!(text.contains("slab_bytes=1024"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Allocator study (§4): pooled vs system vs lock-serialized allocation
+//! on task-shaped lifetimes (small short-lived objects, cross-thread
+//! churn) — the "w/o jemalloc" ablation in microcosm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use core::alloc::Layout;
+use nanotask_alloc::{make_allocator, AllocatorKind};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench(c: &mut Criterion) {
+    let layout = Layout::from_size_align(192, 8).unwrap(); // ≈ task object
+    for kind in [
+        AllocatorKind::Pool,
+        AllocatorKind::System,
+        AllocatorKind::Serialized,
+    ] {
+        c.bench_function(&format!("alloc/single/{kind:?}"), |b| {
+            let a = make_allocator(kind, 4);
+            b.iter(|| {
+                let p = a.alloc(layout);
+                std::hint::black_box(p);
+                unsafe { a.dealloc(p, layout) };
+            });
+        });
+        c.bench_function(&format!("alloc/churn4/{kind:?}"), |b| {
+            b.iter_custom(|iters| {
+                let a = make_allocator(kind, 4);
+                let per = (iters as usize).max(1) * 100;
+                let t0 = Instant::now();
+                let hs: Vec<_> = (0..4)
+                    .map(|_| {
+                        let a = Arc::clone(&a);
+                        std::thread::spawn(move || {
+                            let mut held = Vec::with_capacity(32);
+                            for i in 0..per {
+                                held.push(a.alloc(layout));
+                                if i % 2 == 0 {
+                                    if let Some(p) = held.pop() {
+                                        unsafe { a.dealloc(p, layout) };
+                                    }
+                                }
+                                if held.len() >= 32 {
+                                    for p in held.drain(..) {
+                                        unsafe { a.dealloc(p, layout) };
+                                    }
+                                }
+                            }
+                            for p in held {
+                                unsafe { a.dealloc(p, layout) };
+                            }
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.join().unwrap();
+                }
+                t0.elapsed()
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

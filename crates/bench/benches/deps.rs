@@ -1,0 +1,72 @@
+//! Dependency-system microbenchmarks (§2): registration + release
+//! throughput of the wait-free ASM system vs the fine-grained-locking
+//! baseline, on the paper's canonical patterns (chains, fan-in readers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanotask_core::{Deps, Runtime, RuntimeConfig};
+use std::time::Instant;
+
+fn chain(c: &mut Criterion, cfg_name: &str, cfg: fn() -> RuntimeConfig) {
+    c.bench_function(&format!("deps/{cfg_name}/chain1000"), |b| {
+        let rt = Runtime::new(cfg().workers(2));
+        let x = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = nanotask_core::SendPtr::new(x);
+        b.iter_custom(|iters| {
+            let t0 = Instant::now();
+            for _ in 0..iters.max(1) {
+                rt.run(move |ctx| {
+                    for _ in 0..1000 {
+                        ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| {});
+                    }
+                });
+            }
+            t0.elapsed()
+        });
+    });
+    c.bench_function(&format!("deps/{cfg_name}/fan_readers"), |b| {
+        let rt = Runtime::new(cfg().workers(2));
+        let x = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = nanotask_core::SendPtr::new(x);
+        b.iter_custom(|iters| {
+            let t0 = Instant::now();
+            for _ in 0..iters.max(1) {
+                rt.run(move |ctx| {
+                    for i in 0..1000 {
+                        if i % 100 == 0 {
+                            ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| {});
+                        } else {
+                            ctx.spawn(Deps::new().read_addr(p.addr()), move |_| {});
+                        }
+                    }
+                });
+            }
+            t0.elapsed()
+        });
+    });
+    c.bench_function(&format!("deps/{cfg_name}/independent"), |b| {
+        let rt = Runtime::new(cfg().workers(2));
+        b.iter_custom(|iters| {
+            let t0 = Instant::now();
+            for _ in 0..iters.max(1) {
+                rt.run(|ctx| {
+                    for _ in 0..1000 {
+                        ctx.spawn(Deps::new(), |_| {});
+                    }
+                });
+            }
+            t0.elapsed()
+        });
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    chain(c, "waitfree", RuntimeConfig::optimized);
+    chain(c, "locking", RuntimeConfig::without_waitfree_deps);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

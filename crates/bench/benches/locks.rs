@@ -1,0 +1,72 @@
+//! Lock design study (§3.2): Ticket vs PTLock vs MCS vs TWA vs DTLock
+//! under no contention and under contention. The paper's claim: "PTLocks
+//! perform as well as more complex designs such as MCS or TWA"; ticket
+//! locks degrade under high load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanotask_locks::{DtLock, McsLock, PtLock, RawLock, SpinLock, TicketLock, TwaLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn uncontended<L: RawLock + 'static>(c: &mut Criterion, name: &str) {
+    c.bench_function(&format!("locks/uncontended/{name}"), |b| {
+        let l = L::default();
+        b.iter(|| {
+            l.lock();
+            std::hint::black_box(());
+            l.unlock();
+        });
+    });
+}
+
+fn contended<L: RawLock + 'static>(c: &mut Criterion, name: &str, threads: usize) {
+    c.bench_function(&format!("locks/contended{threads}/{name}"), |b| {
+        b.iter_custom(|iters| {
+            let l = Arc::new(L::default());
+            let counter = Arc::new(AtomicU64::new(0));
+            let per = (iters as usize / threads).max(1);
+            let t0 = Instant::now();
+            let hs: Vec<_> = (0..threads)
+                .map(|_| {
+                    let l = Arc::clone(&l);
+                    let counter = Arc::clone(&counter);
+                    std::thread::spawn(move || {
+                        for _ in 0..per {
+                            l.lock();
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            l.unlock();
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            t0.elapsed()
+        });
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    uncontended::<SpinLock>(c, "spin");
+    uncontended::<TicketLock>(c, "ticket");
+    uncontended::<PtLock<64>>(c, "ptlock");
+    uncontended::<McsLock>(c, "mcs");
+    uncontended::<TwaLock>(c, "twa");
+    uncontended::<DtLock<u64, 64>>(c, "dtlock");
+    let threads = 4;
+    contended::<SpinLock>(c, "spin", threads);
+    contended::<TicketLock>(c, "ticket", threads);
+    contended::<PtLock<64>>(c, "ptlock", threads);
+    contended::<McsLock>(c, "mcs", threads);
+    contended::<TwaLock>(c, "twa", threads);
+    contended::<DtLock<u64, 64>>(c, "dtlock", threads);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

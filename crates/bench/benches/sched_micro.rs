@@ -1,0 +1,62 @@
+//! Scheduler microbenchmark backing the §3.4 claim (DTLock ≈ 4× a
+//! PTLock-protected scheduler; SPSC buffering ≈ 12× serial insertion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanotask_core::sched::{make_scheduler, LockKind, Policy, SchedKind, TaskPtr};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn throughput(c: &mut Criterion, name: &str, kind: SchedKind) {
+    c.bench_function(&format!("sched/{name}/prod1_cons3"), |b| {
+        b.iter_custom(|iters| {
+            let tasks = (iters as usize).max(1) * 100;
+            let sched = make_scheduler(kind, 4, 1, Policy::Fifo, 100);
+            let stop = Arc::new(AtomicBool::new(false));
+            let consumers: Vec<_> = (1..4)
+                .map(|w| {
+                    let sched = Arc::clone(&sched);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            if sched.get_ready(w, None).is_none() {
+                                std::thread::yield_now();
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let t0 = Instant::now();
+            for i in 0..tasks {
+                sched.add_ready(TaskPtr(((i + 1) << 4) as *mut _), 0, None);
+            }
+            while sched.approx_len() > 0 {
+                std::thread::yield_now();
+            }
+            let dt = t0.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            for h in consumers {
+                h.join().unwrap();
+            }
+            dt
+        });
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    throughput(c, "delegation", SchedKind::Delegation);
+    throughput(c, "central_ptlock", SchedKind::Central(LockKind::PtLock));
+    throughput(c, "central_ticket", SchedKind::Central(LockKind::Ticket));
+    throughput(
+        c,
+        "worksteal",
+        SchedKind::WorkSteal(nanotask_core::sched::WsVariant::LifoLocal),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! SPSC ready-buffer microbenchmarks (§3.1): single-element push/pop and
+//! the `consume_all` batch drain of Listing 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("spsc/push_pop", |b| {
+        let (p, mut cons) = nanotask_spsc::channel::<u64>(1024);
+        b.iter(|| {
+            p.push(7).unwrap();
+            std::hint::black_box(cons.pop().unwrap());
+        });
+    });
+    c.bench_function("spsc/batch_drain_100", |b| {
+        let (p, mut cons) = nanotask_spsc::channel::<u64>(128);
+        b.iter(|| {
+            for i in 0..100 {
+                p.push(i).unwrap();
+            }
+            let mut sum = 0;
+            cons.consume_all(|v| sum += v);
+            std::hint::black_box(sum)
+        });
+    });
+    c.bench_function("spsc/cross_thread_1M", |b| {
+        b.iter_custom(|iters| {
+            let count = (iters as usize).max(1) * 1000;
+            let (p, mut cons) = nanotask_spsc::channel::<usize>(1024);
+            let t0 = Instant::now();
+            let h = std::thread::spawn(move || {
+                for i in 0..count {
+                    let mut v = i;
+                    while let Err(back) = p.push(v) {
+                        v = back;
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            let mut got = 0;
+            while got < count {
+                got += cons.consume_all(|_| {});
+            }
+            h.join().unwrap();
+            t0.elapsed()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Instrumentation overhead (§5): cost of recording one event with the
+//! lock-free per-core buffers, enabled vs disabled, plus flush cost —
+//! the "very low overhead" requirement of the paper's backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanotask_trace::{EventKind, Tracer};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("trace/record_enabled", |b| {
+        let tracer = Tracer::new(1, true);
+        let mut rec = tracer.recorder(0);
+        b.iter(|| rec.record(EventKind::UserMarker, 42));
+    });
+    c.bench_function("trace/record_disabled", |b| {
+        let tracer = Tracer::new(1, false);
+        let mut rec = tracer.recorder(0);
+        b.iter(|| rec.record(EventKind::UserMarker, 42));
+    });
+    c.bench_function("trace/record_and_flush_4096", |b| {
+        let tracer = Tracer::new(1, true);
+        let mut rec = tracer.recorder(0);
+        b.iter(|| {
+            for i in 0..4096u64 {
+                rec.record(EventKind::UserMarker, i);
+            }
+            rec.flush();
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Figure 4: efficiency vs task granularity of the runtime with and
+//! without each optimization, Intel Xeon profile.
+//! Benchmarks: Lulesh, DotProduct, miniAMR, Cholesky.
+
+use nanotask_bench::{run_figure, Opts};
+use nanotask_core::{Platform, RuntimeConfig};
+
+fn main() {
+    run_figure(
+        "fig04-ablation-xeon",
+        Platform::XEON,
+        &["lulesh", "dotprod", "miniamr", "cholesky"],
+        &RuntimeConfig::ablations(),
+        Opts::from_env(),
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 5: ablation efficiency vs granularity, AMD Rome profile.
+//! Benchmarks: NBody, HPCCG, miniAMR, Matmul.
+
+use nanotask_bench::{run_figure, Opts};
+use nanotask_core::{Platform, RuntimeConfig};
+
+fn main() {
+    run_figure(
+        "fig05-ablation-rome",
+        Platform::ROME,
+        &["nbody", "hpccg", "miniamr", "matmul"],
+        &RuntimeConfig::ablations(),
+        Opts::from_env(),
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 6: ablation efficiency vs granularity, ARM Graviton2 profile
+//! (single NUMA domain). Benchmarks: Heat, HPCCG, miniAMR, Matmul.
+
+use nanotask_bench::{run_figure, Opts};
+use nanotask_core::{Platform, RuntimeConfig};
+
+fn main() {
+    run_figure(
+        "fig06-ablation-graviton",
+        Platform::GRAVITON2,
+        &["heat", "hpccg", "miniamr", "matmul"],
+        &RuntimeConfig::ablations(),
+        Opts::from_env(),
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 7: optimized runtime vs work-stealing OpenMP-style runtimes,
+//! Intel Xeon profile. Benchmarks: Heat, DotProduct, miniAMR, Cholesky.
+//! Variants: nanotask (≙ Nanos6), GCC-like, LLVM-like (≙ also Intel,
+//! which shares the LLVM runtime architecture).
+
+use nanotask_bench::{run_figure, Opts};
+use nanotask_core::{Platform, RuntimeConfig};
+
+fn main() {
+    run_figure(
+        "fig07-vs-openmp-xeon",
+        Platform::XEON,
+        &["heat", "dotprod", "miniamr", "cholesky"],
+        &[
+            RuntimeConfig::optimized(),
+            RuntimeConfig::openmp_gcc_like(),
+            RuntimeConfig::openmp_llvm_like(),
+        ],
+        Opts::from_env(),
+    );
+}

@@ -1,0 +1,19 @@
+//! Figure 8: vs OpenMP-style runtimes, AMD Rome profile (AOCC shares the
+//! LLVM runtime). Benchmarks: HPCCG, NBody, miniAMR, Matmul.
+
+use nanotask_bench::{run_figure, Opts};
+use nanotask_core::{Platform, RuntimeConfig};
+
+fn main() {
+    run_figure(
+        "fig08-vs-openmp-rome",
+        Platform::ROME,
+        &["hpccg", "nbody", "miniamr", "matmul"],
+        &[
+            RuntimeConfig::optimized(),
+            RuntimeConfig::openmp_gcc_like(),
+            RuntimeConfig::openmp_llvm_like(),
+        ],
+        Opts::from_env(),
+    );
+}

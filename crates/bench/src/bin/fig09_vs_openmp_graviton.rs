@@ -1,0 +1,19 @@
+//! Figure 9: vs OpenMP-style runtimes, ARM Graviton2 profile.
+//! Benchmarks: Heat, HPCCG, miniAMR, Matmul.
+
+use nanotask_bench::{run_figure, Opts};
+use nanotask_core::{Platform, RuntimeConfig};
+
+fn main() {
+    run_figure(
+        "fig09-vs-openmp-graviton",
+        Platform::GRAVITON2,
+        &["heat", "hpccg", "miniamr", "matmul"],
+        &[
+            RuntimeConfig::optimized(),
+            RuntimeConfig::openmp_gcc_like(),
+            RuntimeConfig::openmp_llvm_like(),
+        ],
+        Opts::from_env(),
+    );
+}

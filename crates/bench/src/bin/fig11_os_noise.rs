@@ -1,0 +1,54 @@
+//! Figure 11: operating-system noise effect on the scheduler.
+//!
+//! Injects synthetic kernel interrupts into worker 0 (the documented
+//! perf_event substitution) while miniAMR runs repeatedly, then prints
+//! the interrupt intervals and the DTLock serve histogram: while the
+//! serving thread is stalled, ready tasks accumulate; after the
+//! interrupt the surplus feeds all cores, changing the serve pattern —
+//! the yellow-line regularity difference the paper describes.
+
+use nanotask_bench::Opts;
+use nanotask_core::{Platform, Runtime, RuntimeConfig};
+use nanotask_trace::noise::NoiseConfig;
+use nanotask_trace::timeline::{CoreState, Timeline};
+use nanotask_workloads::workload_by_name;
+use std::time::Duration;
+
+fn main() {
+    let opts = Opts::from_env();
+    let workers = opts.workers_for(Platform::XEON);
+    let noise = NoiseConfig {
+        target_core: 0,
+        period: Duration::from_micros(300),
+        duration: Duration::from_micros(150),
+        max_events: 16,
+    };
+    let rt = Runtime::new(
+        RuntimeConfig::optimized()
+            .workers(workers)
+            .tracing(true)
+            .with_noise(noise),
+    );
+    let mut w = workload_by_name("miniamr", opts.scale).unwrap();
+    let bs = w.block_sizes()[0];
+    for _ in 0..20 {
+        w.run(&rt, bs);
+    }
+    w.verify().expect("verification");
+    let trace = rt.trace();
+    let tl = Timeline::build(&trace);
+    let interrupts: Vec<_> = tl
+        .core_intervals(0)
+        .iter()
+        .filter(|iv| matches!(iv.state, CoreState::Interrupted))
+        .collect();
+    println!("# fig11: OS noise on the scheduler (miniAMR + synthetic interrupts)");
+    println!("# interrupts observed on core 0: {}", interrupts.len());
+    let stalled: u64 = interrupts.iter().map(|iv| iv.len()).sum();
+    println!("# total stall: {} us", stalled / 1_000);
+    println!("# serve histogram over 24 windows (bursts follow the stalls):");
+    for (i, n) in tl.serve_histogram(24).iter().enumerate() {
+        println!("window {i:>2}: {:>4} {}", n, "*".repeat((*n as usize).min(70)));
+    }
+    println!("\n{}", tl.render_ascii(100));
+}

@@ -1,0 +1,627 @@
+//! Flag algebra of the Atomic State Machine (§2.2–2.3 of the paper).
+//!
+//! Each access's state is one `u64`: two low bits encode the (immutable)
+//! access type, the rest are *monotone* state bits — they are only ever
+//! set, never cleared, which is the property the paper's wait-freedom
+//! proof rests on (Definition 2.2: a delivery is `F ← F ∪ M`).
+//!
+//! All decision logic (readiness, propagation guards, the terminal
+//! predicate that licenses reclamation) is a pure function of flag words,
+//! so every transition can be unit-tested without any concurrency, and
+//! the delivery engine in [`crate::deps::wait_free`] stays a thin loop.
+//!
+//! A *crossing* of a monotone predicate `P` is the unique delivery whose
+//! `fetch_or` transitions `P(old) = false` to `P(new) = true`; since flags
+//! are monotone, exactly one delivery crosses each predicate, which is how
+//! every propagation fires exactly once without compare-and-swap loops.
+
+/// Access type stored in the two lowest bits.
+pub const TYPE_MASK: u64 = 0b11;
+/// Read access.
+pub const TYPE_READ: u64 = 0b00;
+/// Write access.
+pub const TYPE_WRITE: u64 = 0b01;
+/// Read-write access.
+pub const TYPE_READWRITE: u64 = 0b10;
+/// Reduction access.
+pub const TYPE_REDUCTION: u64 = 0b11;
+
+/// All prior writers have finished: the data is readable.
+pub const READ_SAT: u64 = 1 << 2;
+/// All prior accesses have finished: the data is writable.
+pub const WRITE_SAT: u64 = 1 << 3;
+/// The owning task's body finished (delivered by unregister).
+pub const COMPLETE: u64 = 1 << 4;
+/// A child access to the same address was linked below this access.
+pub const CHILD_LINKED: u64 = 1 << 5;
+/// The child subtree for this address has fully finished.
+pub const CHILD_DONE: u64 = 1 << 6;
+/// The owner finished without any child access to this address.
+pub const NO_MORE_CHILD: u64 = 1 << 7;
+/// A successor access was linked after this one.
+pub const SUCC_LINKED: u64 = 1 << 8;
+/// ... and that successor is a Read (enables early read propagation).
+pub const SUCC_READER: u64 = 1 << 9;
+/// ... and that successor is a reduction of the same operation.
+pub const SUCC_SAME_RED: u64 = 1 << 10;
+/// ... and that successor is a reduction (any operation).
+pub const SUCC_RED: u64 = 1 << 11;
+/// The domain closed: no successor will ever be linked.
+pub const NO_MORE_SUCC: u64 = 1 << 12;
+/// A notify-up pointer was installed together with NO_MORE_SUCC.
+pub const HAS_NOTIFY_UP: u64 = 1 << 13;
+/// ... and the notify-up target is a same-operation reduction.
+pub const UP_SAME_RED: u64 = 1 << 14;
+/// Reduction-chain token: every earlier reduction of this chain finished.
+pub const RED_TOKEN: u64 = 1 << 15;
+/// Child access is a reduction (set with CHILD_LINKED).
+pub const CHILD_RED: u64 = 1 << 16;
+
+// ---- delivery acknowledgements (the `flagsAfterPropagation` of
+// ---- Listing 2): each records that a propagation message this access
+// ---- originated has been fully delivered, so the terminal predicate can
+// ---- wait for in-flight work.
+
+/// Early READ_SAT was forwarded to the successor.
+pub const ACK_R_SUCC: u64 = 1 << 17;
+/// Early WRITE_SAT was forwarded to a same-op reduction successor.
+pub const ACK_W_SUCC_EARLY: u64 = 1 << 18;
+/// READ_SAT (+ token) was forwarded to the child chain head.
+pub const ACK_R_CHILD: u64 = 1 << 19;
+/// WRITE_SAT was forwarded to the child chain head.
+pub const ACK_W_CHILD: u64 = 1 << 20;
+/// The final propagation to the successor was delivered.
+pub const ACK_SUCC: u64 = 1 << 21;
+/// The completion report to the parent (or the root no-op) was delivered.
+pub const ACK_PARENT: u64 = 1 << 22;
+
+/// Number of distinct state flags (|F| in the paper's Lemma 2.3: an access
+/// can receive at most this many non-empty messages).
+pub const FLAG_COUNT: u32 = 21;
+
+/// Extract the type bits.
+#[inline]
+pub fn type_of(f: u64) -> u64 {
+    f & TYPE_MASK
+}
+
+/// True if the flags describe a reduction access.
+#[inline]
+pub fn is_reduction(f: u64) -> bool {
+    type_of(f) == TYPE_REDUCTION
+}
+
+/// True if the flags describe a read access.
+#[inline]
+pub fn is_read(f: u64) -> bool {
+    type_of(f) == TYPE_READ
+}
+
+/// Satisfiability needed for the owning task to run, per access type:
+/// reads need readability; everything else needs exclusive ownership.
+#[inline]
+pub fn is_satisfied(f: u64) -> bool {
+    match type_of(f) {
+        TYPE_READ => f & READ_SAT != 0,
+        _ => f & (READ_SAT | WRITE_SAT) == (READ_SAT | WRITE_SAT),
+    }
+}
+
+/// The access and (for this address) its whole child subtree finished,
+/// with full satisfiability — the precondition for releasing successors.
+/// Reductions additionally need the chain token (all earlier same-chain
+/// reductions finished) so combination happens before release.
+#[inline]
+pub fn is_fully_done(f: u64) -> bool {
+    let base = READ_SAT | WRITE_SAT | COMPLETE;
+    if f & base != base {
+        return false;
+    }
+    if f & (CHILD_DONE | NO_MORE_CHILD) == 0 {
+        return false;
+    }
+    if is_reduction(f) && f & RED_TOKEN == 0 {
+        return false;
+    }
+    true
+}
+
+/// Terminal predicate: *no further message can ever be delivered to this
+/// access*, so its removal reference may be dropped. Monotone in `f`; the
+/// unique delivery that crosses it performs the drop.
+///
+/// Every message class an access can receive is gated here:
+/// satisfiabilities and token from the predecessor, completion from its
+/// own unregister, linkage messages from the (single) creator thread,
+/// child completion from the child chain, and the acknowledgement
+/// self-messages of every propagation this access itself can originate.
+#[inline]
+pub fn is_terminal(f: u64) -> bool {
+    let base = READ_SAT | WRITE_SAT | COMPLETE;
+    if f & base != base {
+        return false;
+    }
+    if is_reduction(f) && f & RED_TOKEN == 0 {
+        return false;
+    }
+    // Child side resolved?
+    if f & CHILD_LINKED != 0 {
+        let need = CHILD_DONE | ACK_R_CHILD | ACK_W_CHILD;
+        if f & need != need {
+            return false;
+        }
+    } else if f & NO_MORE_CHILD == 0 {
+        return false;
+    }
+    // Successor side resolved?
+    if f & SUCC_LINKED != 0 {
+        if f & ACK_SUCC == 0 {
+            return false;
+        }
+        // Early propagations that these guard bits promise must have
+        // been acknowledged too.
+        if early_read_guard(f) && f & ACK_R_SUCC == 0 {
+            return false;
+        }
+        if early_write_guard(f) && f & ACK_W_SUCC_EARLY == 0 {
+            return false;
+        }
+    } else if f & NO_MORE_SUCC == 0 || f & ACK_PARENT == 0 {
+        return false;
+    }
+    true
+}
+
+/// Guard of the early read-satisfiability forwarding rule: readers pass
+/// readability to reader successors before completing ("reader
+/// concurrency"), and same-op reduction chains pass it to each other.
+#[inline]
+pub fn early_read_guard(f: u64) -> bool {
+    if f & (READ_SAT | SUCC_LINKED) != (READ_SAT | SUCC_LINKED) {
+        return false;
+    }
+    (is_read(f) && f & SUCC_READER != 0) || (is_reduction(f) && f & SUCC_SAME_RED != 0)
+}
+
+/// Guard of the early write-satisfiability forwarding rule (same-op
+/// reduction chains run concurrently on private slots).
+#[inline]
+pub fn early_write_guard(f: u64) -> bool {
+    is_reduction(f)
+        && f & (WRITE_SAT | SUCC_LINKED | SUCC_SAME_RED)
+            == (WRITE_SAT | SUCC_LINKED | SUCC_SAME_RED)
+}
+
+/// Guard of forwarding READ_SAT into the child chain.
+#[inline]
+pub fn child_read_guard(f: u64) -> bool {
+    f & (CHILD_LINKED | READ_SAT) == (CHILD_LINKED | READ_SAT)
+}
+
+/// Guard of forwarding WRITE_SAT into the child chain.
+#[inline]
+pub fn child_write_guard(f: u64) -> bool {
+    f & (CHILD_LINKED | WRITE_SAT) == (CHILD_LINKED | WRITE_SAT)
+}
+
+/// Guard of the final propagation to the successor.
+#[inline]
+pub fn succ_final_guard(f: u64) -> bool {
+    is_fully_done(f) && f & SUCC_LINKED != 0
+}
+
+/// Guard of the upward completion report (domain closed, no successor).
+#[inline]
+pub fn parent_notify_guard(f: u64) -> bool {
+    is_fully_done(f) && f & NO_MORE_SUCC != 0
+}
+
+/// True if predicate `guard` crossed from false to true on this delivery.
+#[inline]
+pub fn crossed(old: u64, new: u64, guard: impl Fn(u64) -> bool) -> bool {
+    !guard(old) && guard(new)
+}
+
+/// Render flags for debugging / the Figure 1 graph dump.
+pub fn format_flags(f: u64) -> String {
+    let ty = match type_of(f) {
+        TYPE_READ => "R",
+        TYPE_WRITE => "W",
+        TYPE_READWRITE => "RW",
+        _ => "RED",
+    };
+    let mut s = String::from(ty);
+    let named: &[(u64, &str)] = &[
+        (READ_SAT, "rs"),
+        (WRITE_SAT, "ws"),
+        (COMPLETE, "done"),
+        (CHILD_LINKED, "cl"),
+        (CHILD_DONE, "cd"),
+        (NO_MORE_CHILD, "nc"),
+        (SUCC_LINKED, "sl"),
+        (SUCC_READER, "sr"),
+        (SUCC_SAME_RED, "ssr"),
+        (SUCC_RED, "sred"),
+        (NO_MORE_SUCC, "ns"),
+        (HAS_NOTIFY_UP, "up"),
+        (UP_SAME_RED, "upsr"),
+        (RED_TOKEN, "tok"),
+        (CHILD_RED, "cred"),
+        (ACK_R_SUCC, "a_rs"),
+        (ACK_W_SUCC_EARLY, "a_wse"),
+        (ACK_R_CHILD, "a_rc"),
+        (ACK_W_CHILD, "a_wc"),
+        (ACK_SUCC, "a_s"),
+        (ACK_PARENT, "a_p"),
+    ];
+    for &(bit, name) in named {
+        if f & bit != 0 {
+            s.push('|');
+            s.push_str(name);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satisfied_per_type() {
+        assert!(is_satisfied(TYPE_READ | READ_SAT));
+        assert!(!is_satisfied(TYPE_WRITE | READ_SAT));
+        assert!(is_satisfied(TYPE_WRITE | READ_SAT | WRITE_SAT));
+        assert!(is_satisfied(TYPE_READWRITE | READ_SAT | WRITE_SAT));
+        assert!(!is_satisfied(TYPE_READWRITE | WRITE_SAT));
+        assert!(is_satisfied(TYPE_REDUCTION | READ_SAT | WRITE_SAT));
+        assert!(!is_satisfied(TYPE_REDUCTION | READ_SAT));
+    }
+
+    #[test]
+    fn fully_done_requires_children_resolution() {
+        let base = TYPE_WRITE | READ_SAT | WRITE_SAT | COMPLETE;
+        assert!(!is_fully_done(base));
+        assert!(is_fully_done(base | NO_MORE_CHILD));
+        assert!(is_fully_done(base | CHILD_DONE));
+    }
+
+    #[test]
+    fn fully_done_reduction_needs_token() {
+        let base = TYPE_REDUCTION | READ_SAT | WRITE_SAT | COMPLETE | NO_MORE_CHILD;
+        assert!(!is_fully_done(base));
+        assert!(is_fully_done(base | RED_TOKEN));
+    }
+
+    #[test]
+    fn terminal_simple_chain_end() {
+        // A write with no children and no successor, domain closed:
+        let f = TYPE_WRITE
+            | READ_SAT
+            | WRITE_SAT
+            | COMPLETE
+            | NO_MORE_CHILD
+            | NO_MORE_SUCC
+            | ACK_PARENT;
+        assert!(is_terminal(f));
+        assert!(!is_terminal(f & !ACK_PARENT));
+        assert!(!is_terminal(f & !NO_MORE_SUCC));
+        assert!(!is_terminal(f & !COMPLETE));
+    }
+
+    #[test]
+    fn terminal_with_successor_needs_ack() {
+        let f = TYPE_WRITE | READ_SAT | WRITE_SAT | COMPLETE | NO_MORE_CHILD | SUCC_LINKED;
+        assert!(!is_terminal(f));
+        assert!(is_terminal(f | ACK_SUCC));
+    }
+
+    #[test]
+    fn terminal_reader_with_reader_successor_needs_early_ack() {
+        let f = TYPE_READ
+            | READ_SAT
+            | WRITE_SAT
+            | COMPLETE
+            | NO_MORE_CHILD
+            | SUCC_LINKED
+            | SUCC_READER
+            | ACK_SUCC;
+        assert!(!is_terminal(f), "early read forward still in flight");
+        assert!(is_terminal(f | ACK_R_SUCC));
+    }
+
+    #[test]
+    fn terminal_with_children_needs_child_acks() {
+        let f = TYPE_WRITE
+            | READ_SAT
+            | WRITE_SAT
+            | COMPLETE
+            | CHILD_LINKED
+            | CHILD_DONE
+            | NO_MORE_SUCC
+            | ACK_PARENT;
+        assert!(!is_terminal(f));
+        assert!(!is_terminal(f | ACK_R_CHILD));
+        assert!(is_terminal(f | ACK_R_CHILD | ACK_W_CHILD));
+    }
+
+    #[test]
+    fn terminal_reduction_needs_token() {
+        let f = TYPE_REDUCTION
+            | READ_SAT
+            | WRITE_SAT
+            | COMPLETE
+            | NO_MORE_CHILD
+            | NO_MORE_SUCC
+            | ACK_PARENT;
+        assert!(!is_terminal(f));
+        assert!(is_terminal(f | RED_TOKEN));
+    }
+
+    #[test]
+    fn early_guards() {
+        assert!(early_read_guard(TYPE_READ | READ_SAT | SUCC_LINKED | SUCC_READER));
+        assert!(!early_read_guard(TYPE_READ | READ_SAT | SUCC_LINKED));
+        assert!(!early_read_guard(TYPE_WRITE | READ_SAT | SUCC_LINKED | SUCC_READER));
+        assert!(early_read_guard(
+            TYPE_REDUCTION | READ_SAT | SUCC_LINKED | SUCC_SAME_RED
+        ));
+        assert!(early_write_guard(
+            TYPE_REDUCTION | WRITE_SAT | SUCC_LINKED | SUCC_SAME_RED
+        ));
+        assert!(!early_write_guard(
+            TYPE_READ | WRITE_SAT | SUCC_LINKED | SUCC_SAME_RED
+        ));
+    }
+
+    #[test]
+    fn crossing_is_exact() {
+        let g = |f: u64| f & (READ_SAT | WRITE_SAT) == (READ_SAT | WRITE_SAT);
+        assert!(crossed(READ_SAT, READ_SAT | WRITE_SAT, g));
+        assert!(!crossed(READ_SAT | WRITE_SAT, READ_SAT | WRITE_SAT, g));
+        assert!(!crossed(0, READ_SAT, g));
+    }
+
+    #[test]
+    fn monotonicity_of_terminal() {
+        // For a sample of flag words, adding bits never turns terminal off.
+        let samples = [
+            TYPE_WRITE | READ_SAT | WRITE_SAT | COMPLETE | NO_MORE_CHILD | NO_MORE_SUCC | ACK_PARENT,
+            TYPE_READ | READ_SAT | WRITE_SAT | COMPLETE | NO_MORE_CHILD | SUCC_LINKED | ACK_SUCC,
+        ];
+        let extra_bits = [CHILD_DONE, ACK_R_SUCC, ACK_W_CHILD, RED_TOKEN, SUCC_RED];
+        for &f in &samples {
+            if is_terminal(f) {
+                for &b in &extra_bits {
+                    assert!(
+                        is_terminal(f | b),
+                        "terminal lost by adding bit: {}",
+                        format_flags(f | b)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn format_flags_mentions_type_and_bits() {
+        let s = format_flags(TYPE_REDUCTION | READ_SAT | RED_TOKEN);
+        assert!(s.starts_with("RED"));
+        assert!(s.contains("rs"));
+        assert!(s.contains("tok"));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    //! Model checking of the ASM protocol over *reachable* delivery
+    //! sequences. The predicates are monotone along every execution the
+    //! protocol can actually produce (link hints travel in the same
+    //! message as their link bit; acknowledgements are only delivered
+    //! after their rule fired), which is what the reclamation argument
+    //! needs — and what these tests exhaustively randomize over.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Static shape of one access's environment.
+    #[derive(Debug, Clone, Copy)]
+    struct Scenario {
+        ty: u64,
+        /// Some((reader, red, same_red)) if a successor links; None if the
+        /// domain closes over us.
+        succ: Option<(bool, bool, bool)>,
+        has_notify_up: bool,
+        up_same_red: bool,
+        has_child: Option<bool /* child is reduction */>,
+    }
+
+    fn scenario() -> impl Strategy<Value = Scenario> {
+        (
+            0u64..4,
+            proptest::option::of((any::<bool>(), any::<bool>(), any::<bool>())),
+            any::<bool>(),
+            any::<bool>(),
+            proptest::option::of(any::<bool>()),
+        )
+            .prop_map(|(ty, succ, has_notify_up, up_same_red, has_child)| Scenario {
+                ty,
+                succ,
+                has_notify_up,
+                up_same_red,
+                has_child,
+            })
+    }
+
+    /// Deliver `add`, then synthesize the acknowledgement deliveries of
+    /// every rule that crossed — the same thing the engine's mailbox
+    /// drain does — returning the final flags.
+    fn deliver_with_acks(mut f: u64, add: u64, trace: &mut Vec<(u64, u64)>) -> u64 {
+        let mut pending = vec![add];
+        while let Some(m) = pending.pop() {
+            let old = f;
+            let new = f | m;
+            if old == new {
+                continue;
+            }
+            trace.push((old, new));
+            // Mirror the wait_free.rs rule engine's self-acknowledgements.
+            if crossed(old, new, early_read_guard) {
+                pending.push(ACK_R_SUCC);
+            }
+            if crossed(old, new, early_write_guard) {
+                pending.push(ACK_W_SUCC_EARLY);
+            }
+            if crossed(old, new, child_read_guard) {
+                pending.push(ACK_R_CHILD);
+            }
+            if crossed(old, new, child_write_guard) {
+                pending.push(ACK_W_CHILD);
+            }
+            if crossed(old, new, succ_final_guard) {
+                pending.push(ACK_SUCC);
+            }
+            if crossed(old, new, parent_notify_guard) {
+                pending.push(ACK_PARENT);
+            }
+            f = new;
+        }
+        f
+    }
+
+    /// The external messages an access with this scenario receives, in
+    /// protocol bundles.
+    fn external_messages(sc: Scenario) -> Vec<u64> {
+        let mut msgs = vec![READ_SAT, WRITE_SAT];
+        if sc.ty == TYPE_REDUCTION {
+            msgs.push(RED_TOKEN);
+        }
+        let mut complete = COMPLETE;
+        if sc.has_child.is_none() {
+            complete |= NO_MORE_CHILD;
+        }
+        msgs.push(complete);
+        if let Some(child_red) = sc.has_child {
+            let mut link = CHILD_LINKED;
+            if child_red {
+                link |= CHILD_RED;
+            }
+            msgs.push(link);
+            msgs.push(CHILD_DONE);
+        }
+        match sc.succ {
+            Some((reader, red, same_red)) => {
+                let mut link = SUCC_LINKED;
+                if reader {
+                    link |= SUCC_READER;
+                }
+                if red {
+                    link |= SUCC_RED;
+                }
+                if red && same_red {
+                    link |= SUCC_SAME_RED;
+                }
+                msgs.push(link);
+            }
+            None => {
+                let mut close = NO_MORE_SUCC;
+                if sc.has_notify_up {
+                    close |= HAS_NOTIFY_UP;
+                    if sc.up_same_red {
+                        close |= UP_SAME_RED;
+                    }
+                }
+                msgs.push(close);
+            }
+        }
+        msgs
+    }
+
+    proptest! {
+        #[test]
+        fn protocol_reaches_terminal_exactly_once(
+            sc in scenario(),
+            order in proptest::collection::vec(any::<u32>(), 8),
+        ) {
+            let mut msgs = external_messages(sc);
+            // Random-but-valid order: CHILD_DONE must come after
+            // CHILD_LINKED (a child cannot finish before it exists).
+            let mut perm: Vec<usize> = (0..msgs.len()).collect();
+            for i in (1..perm.len()).rev() {
+                let j = (order[i % order.len()] as usize) % (i + 1);
+                perm.swap(i, j);
+            }
+            let ordered: Vec<u64> = perm.iter().map(|&i| msgs[i]).collect();
+            msgs = {
+                // Move CHILD_DONE after CHILD_LINKED if needed.
+                let mut v = ordered;
+                if let (Some(cd), Some(cl)) = (
+                    v.iter().position(|&m| m & CHILD_DONE != 0),
+                    v.iter().position(|&m| m & CHILD_LINKED != 0),
+                ) {
+                    if cd < cl {
+                        v.swap(cd, cl);
+                    }
+                }
+                v
+            };
+
+            let mut f = sc.ty;
+            let mut trace = Vec::new();
+            for m in msgs {
+                f = deliver_with_acks(f, m, &mut trace);
+            }
+
+            // 1. The final state is terminal: reclamation always happens.
+            prop_assert!(is_terminal(f), "not terminal: {}", format_flags(f));
+
+            // 2. Terminal was crossed exactly once, at some delivery, and
+            //    never turned off afterwards (monotone along execution).
+            let mut crossings = 0;
+            let mut was_true = false;
+            for &(old, new) in &trace {
+                if crossed(old, new, is_terminal) {
+                    crossings += 1;
+                }
+                if was_true {
+                    prop_assert!(is_terminal(new), "terminal lost mid-execution");
+                }
+                was_true = was_true || is_terminal(new);
+            }
+            prop_assert_eq!(crossings, 1, "terminal crossed {} times", crossings);
+
+            // 3. Every rule fired at most once.
+            let guards: &[fn(u64) -> bool] = &[
+                is_satisfied,
+                is_fully_done,
+                early_read_guard,
+                early_write_guard,
+                child_read_guard,
+                child_write_guard,
+                succ_final_guard,
+                parent_notify_guard,
+            ];
+            for (gi, g) in guards.iter().enumerate() {
+                let n = trace.iter().filter(|&&(o, n_)| crossed(o, n_, g)).count();
+                prop_assert!(n <= 1, "guard {} crossed {} times", gi, n);
+            }
+        }
+
+        #[test]
+        fn satisfied_and_fully_done_are_monotone_in_state_bits(f_ in any::<u32>(), extra in any::<u32>(), ty in 0u64..4) {
+            // These two predicates are monotone even over arbitrary flag
+            // words (terminal is only monotone along valid executions).
+            let f = ((f_ as u64 & ((1 << FLAG_COUNT) - 1)) << 2) | ty;
+            let e = (extra as u64 & ((1 << FLAG_COUNT) - 1)) << 2;
+            prop_assert!(!is_satisfied(f) || is_satisfied(f | e));
+            prop_assert!(!is_fully_done(f) || is_fully_done(f | e));
+        }
+
+        #[test]
+        fn format_flags_total(f_ in any::<u32>(), ty in 0u64..4) {
+            let f = ((f_ as u64 & ((1 << FLAG_COUNT) - 1)) << 2) | ty;
+            let s = format_flags(f);
+            prop_assert!(s.starts_with('R') || s.starts_with('W'));
+        }
+    }
+}

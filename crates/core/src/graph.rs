@@ -1,0 +1,142 @@
+//! Dependency-graph recording — regenerates Figure 1 of the paper.
+//!
+//! Figure 1 shows the access tree a simple OmpSs-2 program builds: four
+//! sibling `in(A)` tasks plus nested children, connected by *successor*
+//! and *child* links. When [`crate::RuntimeConfig::record_graph`] is
+//! enabled, both dependency systems report every link they create and the
+//! runtime stores them here for rendering.
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::TaskId;
+
+/// Kind of dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Next access to the address among sibling tasks.
+    Successor,
+    /// First access to the address among child tasks.
+    Child,
+}
+
+impl EdgeKind {
+    /// Decode the `DepHooks::edge` byte.
+    pub fn from_u8(k: u8) -> EdgeKind {
+        if k == 0 {
+            EdgeKind::Successor
+        } else {
+            EdgeKind::Child
+        }
+    }
+}
+
+/// One recorded dependency edge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphEdge {
+    /// Source task.
+    pub from: TaskId,
+    /// Source task label.
+    pub from_label: String,
+    /// Destination task.
+    pub to: TaskId,
+    /// Destination task label.
+    pub to_label: String,
+    /// Address the edge is about.
+    pub addr: usize,
+    /// Successor or child.
+    pub kind: EdgeKind,
+}
+
+/// Render edges in Graphviz DOT format.
+pub fn to_dot(edges: &[GraphEdge]) -> String {
+    let mut s = String::from("digraph deps {\n  rankdir=TB;\n");
+    let mut nodes: Vec<(TaskId, &str)> = Vec::new();
+    for e in edges {
+        for (id, label) in [(e.from, e.from_label.as_str()), (e.to, e.to_label.as_str())] {
+            if !nodes.iter().any(|&(n, _)| n == id) {
+                nodes.push((id, label));
+            }
+        }
+    }
+    for (id, label) in &nodes {
+        s.push_str(&format!("  t{id} [label=\"{label}#{id}\"];\n"));
+    }
+    for e in edges {
+        let style = match e.kind {
+            EdgeKind::Successor => "solid",
+            EdgeKind::Child => "dashed",
+        };
+        s.push_str(&format!(
+            "  t{} -> t{} [style={style}, label=\"{:#x}\"];\n",
+            e.from, e.to, e.addr
+        ));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Render edges as the indented text tree of Figure 1 (successor chains
+/// vertically, child links indented).
+pub fn to_text(edges: &[GraphEdge]) -> String {
+    let mut s = String::new();
+    for e in edges {
+        let arrow = match e.kind {
+            EdgeKind::Successor => "── successor ──▶",
+            EdgeKind::Child => "└─ child ──▶",
+        };
+        s.push_str(&format!(
+            "{}#{} {} {}#{}  (addr {:#x})\n",
+            e.from_label, e.from, arrow, e.to_label, e.to, e.addr
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<GraphEdge> {
+        vec![
+            GraphEdge {
+                from: 1,
+                from_label: "a".into(),
+                to: 2,
+                to_label: "b".into(),
+                addr: 0x10,
+                kind: EdgeKind::Successor,
+            },
+            GraphEdge {
+                from: 1,
+                from_label: "a".into(),
+                to: 3,
+                to_label: "c".into(),
+                addr: 0x10,
+                kind: EdgeKind::Child,
+            },
+        ]
+    }
+
+    #[test]
+    fn edge_kind_decodes() {
+        assert_eq!(EdgeKind::from_u8(0), EdgeKind::Successor);
+        assert_eq!(EdgeKind::from_u8(1), EdgeKind::Child);
+    }
+
+    #[test]
+    fn dot_output_well_formed() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("t1 -> t2 [style=solid"));
+        assert!(dot.contains("t1 -> t3 [style=dashed"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn text_output_mentions_links() {
+        let text = to_text(&sample());
+        assert!(text.contains("successor"));
+        assert!(text.contains("child"));
+        assert!(text.contains("a#1"));
+    }
+}

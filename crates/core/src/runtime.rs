@@ -1,0 +1,1078 @@
+//! The runtime: configuration, worker threads, task life cycle.
+//!
+//! [`Runtime::new`] builds the configured dependency system, scheduler
+//! and allocator and spawns `workers - 1` worker threads (the caller of
+//! [`Runtime::run`] acts as worker 0, which matches the paper's
+//! single-creator application pattern: the main task creates the work
+//! while the other cores consume it).
+//!
+//! The per-configuration presets map one-to-one onto the §6.2 ablations:
+//! [`RuntimeConfig::optimized`], [`RuntimeConfig::without_jemalloc`],
+//! [`RuntimeConfig::without_waitfree_deps`],
+//! [`RuntimeConfig::without_dtlock`], plus the §6.3 OpenMP-style
+//! work-stealing comparators.
+
+use core::alloc::Layout;
+use core::cell::RefCell;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use nanotask_alloc::{make_allocator, AllocStats, AllocatorKind, RuntimeAllocator};
+use nanotask_locks::Backoff;
+use nanotask_trace::noise::{NoiseConfig, NoiseInjector};
+use nanotask_trace::{CoreRecorder, EventKind, Trace, Tracer};
+
+use crate::deps::access::DataAccess;
+use crate::deps::{make_deps, DepHooks, DependencySystem, Deps, DepsKind};
+use crate::graph::{EdgeKind, GraphEdge};
+use crate::platform::Platform;
+use crate::sched::{make_scheduler, Policy, SchedKind, Scheduler, TaskPtr};
+use crate::task::{Task, TaskId};
+
+/// Runtime configuration: the complete §6 ablation space.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Total workers (including the thread that calls `run`).
+    pub workers: usize,
+    /// NUMA nodes for SPSC add-buffer partitioning.
+    pub numa_nodes: usize,
+    /// Scheduler implementation.
+    pub sched: SchedKind,
+    /// Dependency system implementation.
+    pub deps: DepsKind,
+    /// Allocator implementation.
+    pub alloc: AllocatorKind,
+    /// Ready-queue ordering policy.
+    pub policy: Policy,
+    /// Capacity of each SPSC add buffer (Listing 5 uses 100).
+    pub spsc_capacity: usize,
+    /// Record trace events.
+    pub trace: bool,
+    /// Record dependency edges (Figure 1 graph dump).
+    pub record_graph: bool,
+    /// Synthetic OS-noise injection (Figure 11).
+    pub noise: Option<NoiseConfig>,
+    /// Name shown by benchmark harnesses.
+    pub label: &'static str,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self::optimized()
+    }
+}
+
+impl RuntimeConfig {
+    /// The fully-optimized runtime: wait-free dependencies, delegation
+    /// scheduler, pooled allocator — the paper's "optimized" curve.
+    pub fn optimized() -> Self {
+        Self {
+            workers: 4,
+            numa_nodes: 1,
+            sched: SchedKind::Delegation,
+            deps: DepsKind::WaitFree,
+            alloc: AllocatorKind::Pool,
+            policy: Policy::Fifo,
+            spsc_capacity: 100,
+            trace: false,
+            record_graph: false,
+            noise: None,
+            label: "optimized",
+        }
+    }
+
+    /// Ablation: serialized system allocator ("w/o jemalloc").
+    pub fn without_jemalloc() -> Self {
+        Self {
+            alloc: AllocatorKind::Serialized,
+            label: "w/o jemalloc",
+            ..Self::optimized()
+        }
+    }
+
+    /// Ablation: fine-grained-locking dependency system
+    /// ("w/o wait-free dependencies").
+    pub fn without_waitfree_deps() -> Self {
+        Self {
+            deps: DepsKind::Locking,
+            label: "w/o wait-free dependencies",
+            ..Self::optimized()
+        }
+    }
+
+    /// Ablation: PTLock-protected central scheduler ("w/o DTLock").
+    pub fn without_dtlock() -> Self {
+        Self {
+            sched: SchedKind::Central(crate::sched::LockKind::PtLock),
+            label: "w/o DTLock",
+            ..Self::optimized()
+        }
+    }
+
+    /// §8 future work, implemented: the optimized runtime with the
+    /// flat-combining DTLock serve path (batched waiter service).
+    pub fn flat_combining() -> Self {
+        Self {
+            sched: SchedKind::DelegationFlat,
+            label: "flat combining",
+            ..Self::optimized()
+        }
+    }
+
+    /// §6.3 comparator: work-stealing runtime in the style of the LLVM /
+    /// Intel OpenMP runtimes (local LIFO, steal oldest).
+    pub fn openmp_llvm_like() -> Self {
+        Self {
+            sched: SchedKind::WorkSteal(crate::sched::WsVariant::LifoLocal),
+            deps: DepsKind::Locking,
+            alloc: AllocatorKind::Pool,
+            label: "LLVM-like (worksteal)",
+            ..Self::optimized()
+        }
+    }
+
+    /// §6.3 comparator: GOMP-style work-stealing (local FIFO), with the
+    /// serializing allocator GOMP effectively has through glibc malloc.
+    pub fn openmp_gcc_like() -> Self {
+        Self {
+            sched: SchedKind::WorkSteal(crate::sched::WsVariant::FifoLocal),
+            deps: DepsKind::Locking,
+            alloc: AllocatorKind::System,
+            label: "GCC-like (worksteal)",
+            ..Self::optimized()
+        }
+    }
+
+    /// Set total worker count.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Set NUMA-node count.
+    pub fn numa(mut self, n: usize) -> Self {
+        self.numa_nodes = n.max(1);
+        self
+    }
+
+    /// Apply a platform profile (workers + NUMA nodes).
+    pub fn platform(mut self, p: Platform) -> Self {
+        self.workers = p.cores.max(1);
+        self.numa_nodes = p.numa_nodes.max(1);
+        self
+    }
+
+    /// Enable tracing.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Enable dependency-graph recording.
+    pub fn graph(mut self, on: bool) -> Self {
+        self.record_graph = on;
+        self
+    }
+
+    /// Enable synthetic OS noise.
+    pub fn with_noise(mut self, cfg: NoiseConfig) -> Self {
+        self.noise = Some(cfg);
+        self
+    }
+
+    /// Select the scheduler.
+    pub fn scheduler(mut self, kind: SchedKind) -> Self {
+        self.sched = kind;
+        self
+    }
+
+    /// Select the dependency system.
+    pub fn dependency_system(mut self, kind: DepsKind) -> Self {
+        self.deps = kind;
+        self
+    }
+
+    /// Select the allocator.
+    pub fn allocator(mut self, kind: AllocatorKind) -> Self {
+        self.alloc = kind;
+        self
+    }
+
+    /// Set the ready-queue policy.
+    pub fn with_policy(mut self, p: Policy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// The four §6.2 ablation configurations, in paper order.
+    pub fn ablations() -> Vec<RuntimeConfig> {
+        vec![
+            Self::optimized(),
+            Self::without_jemalloc(),
+            Self::without_waitfree_deps(),
+            Self::without_dtlock(),
+        ]
+    }
+}
+
+/// Aggregate runtime counters.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Tasks created.
+    pub tasks_created: u64,
+    /// Task bodies executed.
+    pub tasks_executed: u64,
+    /// Tasks whose memory was reclaimed.
+    pub tasks_freed: u64,
+    /// Allocator counters.
+    pub alloc: AllocStats,
+    /// Wait-free dependency deliveries (0 under the locking system):
+    /// (accesses, deliveries, duplicates).
+    pub deps_deliveries: (u64, u64, u64),
+}
+
+pub(crate) struct Shared {
+    pub cfg: RuntimeConfig,
+    pub sched: Arc<dyn Scheduler>,
+    pub deps: Arc<dyn DependencySystem>,
+    pub alloc: Arc<dyn RuntimeAllocator>,
+    pub tracer: Tracer,
+    pub noise: Option<NoiseInjector>,
+    pub graph: Mutex<Vec<GraphEdge>>,
+    pub next_id: AtomicU64,
+    pub shutdown: AtomicBool,
+    pub tasks_created: AtomicU64,
+    pub tasks_executed: AtomicU64,
+    pub tasks_freed: AtomicU64,
+    pub live_tasks: AtomicUsize,
+}
+
+impl Shared {
+    /// Reclaim a task object and its access array.
+    ///
+    /// # Safety
+    /// Called exactly once per task, when its removal refs hit zero.
+    unsafe fn free_task(&self, t: *mut Task) {
+        self.tasks_freed.fetch_add(1, Ordering::Relaxed);
+        self.live_tasks.fetch_sub(1, Ordering::Relaxed);
+        unsafe {
+            let task = &mut *t;
+            if !task.accesses.is_null() {
+                for i in 0..task.n_accesses {
+                    core::ptr::drop_in_place(task.accesses.add(i));
+                }
+                let layout = Layout::array::<DataAccess>(task.n_accesses).unwrap();
+                self.alloc.dealloc(task.accesses as *mut u8, layout);
+            }
+            core::ptr::drop_in_place(t);
+            self.alloc.dealloc(t as *mut u8, Layout::new::<Task>());
+        }
+    }
+}
+
+/// Per-worker context (thread-confined).
+pub(crate) struct WorkerCtx {
+    pub id: usize,
+    pub shared: Arc<Shared>,
+    pub recorder: RefCell<CoreRecorder>,
+}
+
+impl WorkerCtx {
+    fn record(&self, kind: EventKind, payload: u64) {
+        self.recorder.borrow_mut().record(kind, payload);
+    }
+}
+
+/// Dependency-system callbacks bound to a worker.
+struct Hooks<'a> {
+    w: &'a WorkerCtx,
+}
+
+unsafe impl DepHooks for Hooks<'_> {
+    fn task_ready(&self, task: *mut Task) {
+        let mut rec = self.w.recorder.borrow_mut();
+        self.w
+            .shared
+            .sched
+            .add_ready(TaskPtr(task), self.w.id, Some(&mut rec));
+    }
+
+    fn task_free(&self, task: *mut Task) {
+        unsafe { self.w.shared.free_task(task) };
+    }
+
+    fn edge(&self, from: *mut Task, to: *mut Task, addr: usize, kind: u8) {
+        if !self.w.shared.cfg.record_graph {
+            return;
+        }
+        let (f, t) = unsafe { (&*from, &*to) };
+        self.w.shared.graph.lock().push(GraphEdge {
+            from: f.id,
+            from_label: f.label.to_string(),
+            to: t.id,
+            to_label: t.label.to_string(),
+            addr,
+            kind: EdgeKind::from_u8(kind),
+        });
+    }
+
+    fn nworkers(&self) -> usize {
+        self.w.shared.cfg.workers
+    }
+
+    fn allocator(&self) -> &dyn RuntimeAllocator {
+        &*self.w.shared.alloc
+    }
+}
+
+/// Handle to a running task, passed to every task body. Provides task
+/// spawning (nested parallelism), taskwait and reduction-slot access —
+/// the library-level OmpSs-2 surface.
+pub struct TaskCtx<'a> {
+    task: *mut Task,
+    worker: &'a WorkerCtx,
+}
+
+impl TaskCtx<'_> {
+    /// This task's id.
+    pub fn task_id(&self) -> TaskId {
+        unsafe { (*self.task).id }
+    }
+
+    /// The executing worker's id.
+    pub fn worker_id(&self) -> usize {
+        self.worker.id
+    }
+
+    /// Total workers in the runtime.
+    pub fn nworkers(&self) -> usize {
+        self.worker.shared.cfg.workers
+    }
+
+    /// Spawn a child task with dependencies.
+    pub fn spawn(&self, deps: Deps, body: impl FnOnce(&TaskCtx) + Send + 'static) {
+        self.spawn_labeled("task", deps, body);
+    }
+
+    /// Spawn with a label (shows up in traces and graph dumps).
+    pub fn spawn_labeled(
+        &self,
+        label: &'static str,
+        deps: Deps,
+        body: impl FnOnce(&TaskCtx) + Send + 'static,
+    ) {
+        self.spawn_prioritized(label, 0, deps, body);
+    }
+
+    /// Spawn with an explicit scheduling priority (the OmpSs-2 `priority`
+    /// clause); higher-priority ready tasks are scheduled first under
+    /// [`crate::sched::Policy::Priority`].
+    pub fn spawn_prioritized(
+        &self,
+        label: &'static str,
+        priority: i32,
+        deps: Deps,
+        body: impl FnOnce(&TaskCtx) + Send + 'static,
+    ) {
+        self.spawn_internal(label, priority, deps, Box::new(body), None);
+    }
+
+    /// OmpSs-2 `taskwait on(...)`: block until every earlier task whose
+    /// accesses conflict with `deps` has completed — without waiting for
+    /// unrelated children. Implemented exactly as the model defines it: an
+    /// empty task carrying `deps` is inserted into the dependency system
+    /// and the worker helps execute other tasks until it runs.
+    pub fn taskwait_on(&self, deps: Deps) {
+        let task = unsafe { &*self.task };
+        self.worker.record(EventKind::TaskwaitBegin, task.id);
+        let done = Arc::new(AtomicBool::new(false));
+        self.spawn_internal("taskwait_on", i32::MAX, deps, Box::new(|_| {}), Some(Arc::clone(&done)));
+        let mut backoff = Backoff::new();
+        while !done.load(Ordering::Acquire) {
+            let got = {
+                let mut rec = self.worker.recorder.borrow_mut();
+                self.worker
+                    .shared
+                    .sched
+                    .get_ready(self.worker.id, Some(&mut rec))
+            };
+            match got {
+                Some(t) => {
+                    execute_task(self.worker, t.0);
+                    backoff.reset();
+                }
+                None => backoff.snooze(),
+            }
+        }
+        self.worker.record(EventKind::TaskwaitEnd, task.id);
+    }
+
+    fn spawn_internal(
+        &self,
+        label: &'static str,
+        priority: i32,
+        deps: Deps,
+        body: crate::task::TaskBody,
+        completion: Option<Arc<AtomicBool>>,
+    ) {
+        let shared = &self.worker.shared;
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.worker.record(EventKind::CreateBegin, id);
+        shared.tasks_created.fetch_add(1, Ordering::Relaxed);
+        shared.live_tasks.fetch_add(1, Ordering::Relaxed);
+
+        let t = shared.alloc.alloc(Layout::new::<Task>()) as *mut Task;
+        unsafe {
+            let mut task = Task::new(
+                id,
+                label,
+                self.task,
+                self.worker.id as u32,
+                body,
+                deps.into_decls(),
+            );
+            task.priority = priority;
+            task.completion_flag = completion;
+            t.write(task);
+            (*self.task).add_child();
+            let hooks = Hooks { w: self.worker };
+            shared.deps.register(t, &hooks);
+            if (*t).unblock() {
+                hooks.task_ready(t);
+            }
+        }
+        self.worker.record(EventKind::CreateEnd, id);
+    }
+
+    /// Wait until every child spawned so far (and their descendants) has
+    /// completed. The worker executes other ready tasks while waiting
+    /// (work-assisting), so taskwait never deadlocks the thread pool.
+    pub fn taskwait(&self) {
+        let task = unsafe { &*self.task };
+        if task.pending_children() <= 1 {
+            return;
+        }
+        self.worker.record(EventKind::TaskwaitBegin, task.id);
+        let mut backoff = Backoff::new();
+        while task.pending_children() > 1 {
+            let got = {
+                let mut rec = self.worker.recorder.borrow_mut();
+                self.worker
+                    .shared
+                    .sched
+                    .get_ready(self.worker.id, Some(&mut rec))
+            };
+            match got {
+                Some(t) => {
+                    execute_task(self.worker, t.0);
+                    backoff.reset();
+                }
+                None => backoff.snooze(),
+            }
+            if let Some(noise) = &self.worker.shared.noise {
+                let mut rec = self.worker.recorder.borrow_mut();
+                noise.check(self.worker.id as u16, &mut rec);
+            }
+        }
+        self.worker.record(EventKind::TaskwaitEnd, task.id);
+    }
+
+    /// The private reduction slot of the current worker for the reduction
+    /// access declared on `target`. Panics if this task has no reduction
+    /// access on that address.
+    pub fn red_slot<T>(&self, target: &T) -> *mut T {
+        let addr = target as *const T as usize;
+        let task = unsafe { &*self.task };
+        let decls = unsafe { task.decls() };
+        let d = decls
+            .iter()
+            .find(|d| d.addr == addr && d.mode.is_reduction())
+            .expect("no reduction access declared on this address");
+        let info = d
+            .reduction
+            .as_ref()
+            .expect("reduction info not attached (task not registered?)");
+        unsafe { info.slot(self.worker.id) as *mut T }
+    }
+}
+
+/// Execute a task body and run the completion protocol.
+fn execute_task(w: &WorkerCtx, t: *mut Task) {
+    let shared = &w.shared;
+    let id = unsafe { (*t).id };
+    w.record(EventKind::TaskStart, id);
+    {
+        let ctx = TaskCtx { task: t, worker: w };
+        let body = unsafe { (*t).take_body() }.expect("task executed twice");
+        body(&ctx);
+    }
+    w.record(EventKind::TaskEnd, id);
+    shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+
+    let hooks = Hooks { w };
+    unsafe {
+        shared.deps.body_done(t, &hooks);
+        if (*t).drop_child_ref() {
+            finish_subtree(w, t);
+        }
+    }
+}
+
+/// A task's subtree completed: release (locking system), notify the
+/// parent chain, and drop the subtree removal reference.
+fn finish_subtree(w: &WorkerCtx, t: *mut Task) {
+    let hooks = Hooks { w };
+    unsafe {
+        w.shared.deps.fully_done(t, &hooks);
+        let parent = (*t).parent;
+        // Signal external waiters before the memory can be reclaimed.
+        if let Some(flag) = &(*t).completion_flag {
+            let flag = Arc::clone(flag);
+            flag.store(true, Ordering::Release);
+        }
+        if (*t).drop_removal_ref() {
+            w.shared.free_task(t);
+        }
+        if !parent.is_null() && (*parent).drop_child_ref() {
+            finish_subtree(w, parent);
+        }
+    }
+}
+
+/// Worker-thread main loop.
+fn worker_loop(w: WorkerCtx) {
+    let shared = Arc::clone(&w.shared);
+    let mut idle = false;
+    let mut backoff = Backoff::new();
+    loop {
+        let got = {
+            let mut rec = w.recorder.borrow_mut();
+            shared.sched.get_ready(w.id, Some(&mut rec))
+        };
+        match got {
+            Some(t) => {
+                if idle {
+                    w.record(EventKind::IdleEnd, 0);
+                    idle = false;
+                }
+                execute_task(&w, t.0);
+                backoff.reset();
+            }
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                if !idle {
+                    w.record(EventKind::IdleBegin, 0);
+                    idle = true;
+                    // Flush between tasks, as the paper's backend does.
+                    w.recorder.borrow_mut().flush();
+                }
+                backoff.snooze();
+            }
+        }
+        if let Some(noise) = &shared.noise {
+            let mut rec = w.recorder.borrow_mut();
+            noise.check(w.id as u16, &mut rec);
+        }
+    }
+    // Recorder flushes on drop.
+}
+
+/// The task runtime. See the crate docs for an example.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    main: WorkerCtx,
+}
+
+impl Runtime {
+    /// Build a runtime and start its worker threads.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(
+            cfg.workers <= crate::sched::sync_sched::MAX_WORKERS,
+            "at most {} workers",
+            crate::sched::sync_sched::MAX_WORKERS
+        );
+        let sched = make_scheduler(
+            cfg.sched,
+            cfg.workers,
+            cfg.numa_nodes,
+            cfg.policy,
+            cfg.spsc_capacity,
+        );
+        let deps = make_deps(cfg.deps);
+        let alloc = make_allocator(cfg.alloc, cfg.workers + 1);
+        let tracer = Tracer::new(cfg.workers, cfg.trace);
+        let noise = cfg.noise.map(NoiseInjector::new);
+        let shared = Arc::new(Shared {
+            sched,
+            deps,
+            alloc,
+            tracer: tracer.clone(),
+            noise,
+            graph: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            tasks_created: AtomicU64::new(0),
+            tasks_executed: AtomicU64::new(0),
+            tasks_freed: AtomicU64::new(0),
+            live_tasks: AtomicUsize::new(0),
+            cfg,
+        });
+        let threads = (1..shared.cfg.workers)
+            .map(|id| {
+                let w = WorkerCtx {
+                    id,
+                    shared: Arc::clone(&shared),
+                    recorder: RefCell::new(tracer.recorder(id as u16)),
+                };
+                std::thread::Builder::new()
+                    .name(format!("nanotask-w{id}"))
+                    .spawn(move || worker_loop(w))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let main = WorkerCtx {
+            id: 0,
+            shared: Arc::clone(&shared),
+            recorder: RefCell::new(tracer.recorder(0)),
+        };
+        Self {
+            shared,
+            threads,
+            main,
+        }
+    }
+
+    /// Execute `root` as the root task on the calling thread (worker 0)
+    /// and block until the entire task graph has completed.
+    pub fn run(&self, root: impl FnOnce(&TaskCtx) + Send + 'static) {
+        let shared = &self.shared;
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        shared.tasks_created.fetch_add(1, Ordering::Relaxed);
+        shared.live_tasks.fetch_add(1, Ordering::Relaxed);
+        let t = shared.alloc.alloc(Layout::new::<Task>()) as *mut Task;
+        let done = Arc::new(AtomicBool::new(false));
+        unsafe {
+            let mut task = Task::new(
+                id,
+                "root",
+                core::ptr::null_mut(),
+                0,
+                Box::new(root),
+                vec![],
+            );
+            task.completion_flag = Some(Arc::clone(&done));
+            t.write(task);
+        }
+        // The root has no dependencies: execute it right away on this
+        // thread, then help until its subtree completes. The completion
+        // flag lives outside task memory, so polling it races with
+        // nothing even after the task object is reclaimed.
+        execute_task(&self.main, t);
+        let mut backoff = Backoff::new();
+        while !done.load(Ordering::Acquire) {
+            let got = {
+                let mut rec = self.main.recorder.borrow_mut();
+                shared.sched.get_ready(0, Some(&mut rec))
+            };
+            match got {
+                Some(task) => {
+                    execute_task(&self.main, task.0);
+                    backoff.reset();
+                }
+                None => backoff.snooze(),
+            }
+            if let Some(noise) = &shared.noise {
+                let mut rec = self.main.recorder.borrow_mut();
+                noise.check(0, &mut rec);
+            }
+        }
+        self.main.recorder.borrow_mut().flush();
+    }
+
+    /// Runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.shared.cfg
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> RuntimeStats {
+        let deps_deliveries = if let DepsKind::WaitFree = self.shared.cfg.deps {
+            // Downcast through the concrete type to read its counters.
+            let any: &dyn DependencySystem = &*self.shared.deps;
+            let wf = unsafe {
+                // SAFETY: kind() == WaitFree ⇒ the concrete type is
+                // WaitFreeDeps (the factory builds no other).
+                debug_assert_eq!(any.kind(), DepsKind::WaitFree);
+                &*(any as *const dyn DependencySystem as *const crate::deps::wait_free::WaitFreeDeps)
+            };
+            wf.stats()
+        } else {
+            (0, 0, 0)
+        };
+        RuntimeStats {
+            tasks_created: self.shared.tasks_created.load(Ordering::Relaxed),
+            tasks_executed: self.shared.tasks_executed.load(Ordering::Relaxed),
+            tasks_freed: self.shared.tasks_freed.load(Ordering::Relaxed),
+            alloc: self.shared.alloc.stats(),
+            deps_deliveries,
+        }
+    }
+
+    /// Collect the trace recorded so far (call between/after `run`s; only
+    /// flushed events appear — workers flush when idle).
+    pub fn trace(&self) -> Trace {
+        self.shared.tracer.finish()
+    }
+
+    /// Recorded dependency edges (requires `record_graph`).
+    pub fn graph_edges(&self) -> Vec<GraphEdge> {
+        self.shared.graph.lock().clone()
+    }
+
+    /// Drop the recorded dependency edges (e.g. between `run`s when only
+    /// the last program's graph is of interest).
+    pub fn clear_graph_edges(&self) {
+        self.shared.graph.lock().clear();
+    }
+
+    /// Number of task objects currently alive (diagnostics; 0 after all
+    /// runs completed and chains were closed).
+    pub fn live_tasks(&self) -> usize {
+        self.shared.live_tasks.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            t.join().expect("worker panicked");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::RedOp;
+    use std::sync::atomic::AtomicU64 as TestAtomicU64;
+
+    fn small(cfg: RuntimeConfig) -> Runtime {
+        Runtime::new(cfg.workers(3))
+    }
+
+    #[test]
+    fn run_executes_root() {
+        let rt = small(RuntimeConfig::optimized());
+        let hit = Arc::new(AtomicBool::new(false));
+        let h = Arc::clone(&hit);
+        rt.run(move |_| h.store(true, Ordering::SeqCst));
+        assert!(hit.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn spawned_tasks_all_execute() {
+        let rt = small(RuntimeConfig::optimized());
+        let count = Arc::new(TestAtomicU64::new(0));
+        let c = Arc::clone(&count);
+        rt.run(move |ctx| {
+            for _ in 0..100 {
+                let c = Arc::clone(&c);
+                ctx.spawn(Deps::new(), move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn dependencies_order_writes() {
+        // A chain of writers incrementing a plain (non-atomic) counter:
+        // only correct if the runtime serializes them.
+        let rt = small(RuntimeConfig::optimized());
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = crate::SendPtr::new(data);
+        rt.run(move |ctx| {
+            for _ in 0..50 {
+                ctx.spawn(
+                    Deps::new().readwrite_addr(p.addr()),
+                    move |_| unsafe { *p.get() += 1 },
+                );
+            }
+        });
+        assert_eq!(unsafe { *data }, 50);
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn taskwait_blocks_until_children_done() {
+        let rt = small(RuntimeConfig::optimized());
+        let flag = Arc::new(AtomicBool::new(false));
+        let ok = Arc::new(AtomicBool::new(false));
+        let (f, o) = (Arc::clone(&flag), Arc::clone(&ok));
+        rt.run(move |ctx| {
+            let f2 = Arc::clone(&f);
+            ctx.spawn(Deps::new(), move |_| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                f2.store(true, Ordering::SeqCst);
+            });
+            ctx.taskwait();
+            o.store(f.load(Ordering::SeqCst), Ordering::SeqCst);
+        });
+        assert!(ok.load(Ordering::SeqCst), "taskwait returned before child");
+    }
+
+    #[test]
+    fn reduction_sums_across_tasks() {
+        let rt = small(RuntimeConfig::optimized());
+        let acc = Box::leak(Box::new(0.0f64)) as *mut f64;
+        let p = crate::SendPtr::new(acc);
+        rt.run(move |ctx| {
+            for i in 0..32 {
+                ctx.spawn(
+                    Deps::new().reduce_addr(p.addr(), 8, RedOp::SumF64),
+                    move |c| unsafe {
+                        let slot = c.red_slot(&*(p.addr() as *const f64));
+                        *slot += (i + 1) as f64;
+                    },
+                );
+            }
+            // A reader after the chain forces combination.
+            ctx.spawn(Deps::new().read_addr(p.addr()), move |_| {});
+        });
+        assert_eq!(unsafe { *acc }, 528.0); // 1+2+..+32
+        unsafe { drop(Box::from_raw(acc)) };
+    }
+
+    #[test]
+    fn all_ablation_configs_run() {
+        for cfg in RuntimeConfig::ablations() {
+            let label = cfg.label;
+            let rt = Runtime::new(cfg.workers(2));
+            let count = Arc::new(TestAtomicU64::new(0));
+            let c = Arc::clone(&count);
+            let data = Box::leak(Box::new(0u64)) as *mut u64;
+            let p = crate::SendPtr::new(data);
+            rt.run(move |ctx| {
+                for _ in 0..20 {
+                    let c2 = Arc::clone(&c);
+                    ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| {
+                        unsafe { *p.get() += 1 };
+                        c2.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 20, "config {label}");
+            assert_eq!(unsafe { *data }, 20, "config {label}");
+            unsafe { drop(Box::from_raw(data)) };
+        }
+    }
+
+    #[test]
+    fn stats_track_tasks() {
+        let rt = small(RuntimeConfig::optimized());
+        rt.run(|ctx| {
+            for _ in 0..10 {
+                ctx.spawn(Deps::new(), |_| {});
+            }
+        });
+        let s = rt.stats();
+        assert_eq!(s.tasks_executed, 11); // 10 + root
+        assert_eq!(s.tasks_created, 11);
+    }
+
+    #[test]
+    fn trace_records_task_events() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2).tracing(true));
+        rt.run(|ctx| {
+            for _ in 0..5 {
+                ctx.spawn(Deps::new(), |_| {});
+            }
+        });
+        let trace = rt.trace();
+        let starts = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::TaskStart)
+            .count();
+        assert!(starts >= 6, "root + 5 tasks traced, got {starts}");
+    }
+
+    #[test]
+    fn graph_edges_recorded() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(1).graph(true));
+        let x = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = crate::SendPtr::new(x);
+        rt.run(move |ctx| {
+            for _ in 0..4 {
+                ctx.spawn_labeled("w", Deps::new().readwrite_addr(p.addr()), move |_| {});
+            }
+        });
+        let edges = rt.graph_edges();
+        assert_eq!(edges.len(), 3, "3 successor edges in a 4-task chain");
+        unsafe { drop(Box::from_raw(x)) };
+    }
+
+    #[test]
+    fn nested_spawn_and_wait() {
+        let rt = small(RuntimeConfig::optimized());
+        let count = Arc::new(TestAtomicU64::new(0));
+        let c = Arc::clone(&count);
+        rt.run(move |ctx| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                ctx.spawn(Deps::new(), move |inner| {
+                    for _ in 0..4 {
+                        let c = Arc::clone(&c);
+                        inner.spawn(Deps::new(), move |_| {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    inner.taskwait();
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn sequential_runs_reuse_runtime() {
+        let rt = small(RuntimeConfig::optimized());
+        let count = Arc::new(TestAtomicU64::new(0));
+        for _ in 0..3 {
+            let c = Arc::clone(&count);
+            rt.run(move |ctx| {
+                for _ in 0..10 {
+                    let c = Arc::clone(&c);
+                    ctx.spawn(Deps::new(), move |_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn priority_policy_orders_execution() {
+        // Single worker: the root queues everything, then the helping
+        // loop must pop strictly by priority (FIFO among equals).
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(1)
+                .with_policy(crate::sched::Policy::Priority),
+        );
+        let order: Arc<Mutex<Vec<i32>>> = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        rt.run(move |ctx| {
+            for &p in &[1, 5, 3, 5, 2, 4] {
+                let o = Arc::clone(&o);
+                ctx.spawn_prioritized("p", p, Deps::new(), move |_| {
+                    o.lock().push(p);
+                });
+            }
+        });
+        assert_eq!(*order.lock(), vec![5, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn priority_policy_on_delegation_and_central() {
+        for sched in [
+            SchedKind::Delegation,
+            SchedKind::Central(crate::sched::LockKind::PtLock),
+        ] {
+            let rt = Runtime::new(
+                RuntimeConfig::optimized()
+                    .scheduler(sched)
+                    .workers(3)
+                    .with_policy(crate::sched::Policy::Priority),
+            );
+            let count = Arc::new(TestAtomicU64::new(0));
+            let c = Arc::clone(&count);
+            rt.run(move |ctx| {
+                for i in 0..200 {
+                    let c = Arc::clone(&c);
+                    ctx.spawn_prioritized("p", i % 7, Deps::new(), move |_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 200, "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn taskwait_on_waits_for_conflicting_tasks_only() {
+        let rt = small(RuntimeConfig::optimized());
+        let x = Box::leak(Box::new(0u64)) as *mut u64;
+        let y = Box::leak(Box::new(0u64)) as *mut u64;
+        let px = crate::SendPtr::new(x);
+        let py = crate::SendPtr::new(y);
+        let unrelated_done = Arc::new(AtomicBool::new(false));
+        let observed = Arc::new(TestAtomicU64::new(u64::MAX));
+        let (u, o) = (Arc::clone(&unrelated_done), Arc::clone(&observed));
+        rt.run(move |ctx| {
+            // Conflicting chain on x.
+            for _ in 0..10 {
+                ctx.spawn(Deps::new().readwrite_addr(px.addr()), move |_| unsafe {
+                    *px.get() += 1;
+                });
+            }
+            // A slow unrelated task on y.
+            let u2 = Arc::clone(&u);
+            ctx.spawn(Deps::new().readwrite_addr(py.addr()), move |_| {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                u2.store(true, Ordering::SeqCst);
+            });
+            // Wait only on x: all 10 increments visible; the slow task
+            // may still be running.
+            ctx.taskwait_on(Deps::new().read_addr(px.addr()));
+            o.store(unsafe { *px.get() }, Ordering::SeqCst);
+        });
+        assert_eq!(observed.load(Ordering::SeqCst), 10, "all x-writers finished");
+        assert!(unrelated_done.load(Ordering::SeqCst), "run() still waits for everything");
+        unsafe {
+            drop(Box::from_raw(x));
+            drop(Box::from_raw(y));
+        }
+    }
+
+    #[test]
+    fn taskwait_on_with_no_conflicts_returns_quickly() {
+        let rt = small(RuntimeConfig::optimized());
+        let x = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = crate::SendPtr::new(x);
+        rt.run(move |ctx| {
+            ctx.taskwait_on(Deps::new().read_addr(p.addr()));
+            unsafe { *p.get() = 7 };
+        });
+        assert_eq!(unsafe { *x }, 7);
+        unsafe { drop(Box::from_raw(x)) };
+    }
+
+    #[test]
+    fn tasks_reclaimed_after_run() {
+        let rt = small(RuntimeConfig::optimized());
+        let x = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = crate::SendPtr::new(x);
+        rt.run(move |ctx| {
+            for _ in 0..50 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        // The root closed its domain when its body+children finished, so
+        // every chain terminated and every task should be reclaimed.
+        assert_eq!(rt.live_tasks(), 0, "all task objects reclaimed");
+        let s = rt.stats();
+        assert_eq!(s.tasks_created, s.tasks_freed);
+        unsafe { drop(Box::from_raw(x)) };
+    }
+}

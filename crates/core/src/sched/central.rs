@@ -1,0 +1,143 @@
+//! Central lock-protected scheduler.
+//!
+//! "Using a global lock is the most straightforward approach to
+//! synchronize the scheduler. [...] When task granularity is coarse
+//! enough, this approach works well and keeps the scheduling system's
+//! design simple and the scheduling policies accurate." (§3)
+//!
+//! Instantiated with the [`nanotask_locks::PtLock`] this is exactly the
+//! paper's "w/o DTLock" ablation (every `addReadyTask` and every
+//! `getReadyTask` fights for the same lock — the behaviour Figure 10's
+//! lower trace visualizes); the generic parameter also allows the
+//! Ticket/MCS/TWA lock studies of §3.2 at the scheduler level.
+
+use core::cell::UnsafeCell;
+use nanotask_locks::RawLock;
+use nanotask_trace::EventKind;
+
+use super::{Policy, PolicyQueue, Rec, SchedKind, Scheduler, TaskPtr};
+
+/// A policy queue behind one global lock `L`.
+pub struct CentralScheduler<L: RawLock> {
+    lock: L,
+    queue: UnsafeCell<PolicyQueue>,
+    kind: SchedKind,
+    len: core::sync::atomic::AtomicUsize,
+}
+
+unsafe impl<L: RawLock> Send for CentralScheduler<L> {}
+unsafe impl<L: RawLock> Sync for CentralScheduler<L> {}
+
+impl<L: RawLock> CentralScheduler<L> {
+    /// Create an empty scheduler.
+    pub fn new(policy: Policy, kind: SchedKind) -> Self {
+        Self {
+            lock: L::default(),
+            queue: UnsafeCell::new(PolicyQueue::new(policy)),
+            kind,
+            len: core::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<L: RawLock> Scheduler for CentralScheduler<L> {
+    fn add_ready(&self, task: TaskPtr, _worker: usize, rec: Rec<'_>) {
+        self.lock.lock();
+        // SAFETY: queue accessed only under `lock`.
+        unsafe { (*self.queue.get()).push(task) };
+        self.lock.unlock();
+        self.len.fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+        if let Some(r) = rec {
+            r.record(EventKind::AddReady, unsafe { (*task.0).id });
+        }
+    }
+
+    fn get_ready(&self, _worker: usize, _rec: Rec<'_>) -> Option<TaskPtr> {
+        self.lock.lock();
+        // SAFETY: queue accessed only under `lock`.
+        let t = unsafe { (*self.queue.get()).pop() };
+        self.lock.unlock();
+        if t.is_some() {
+            self.len.fetch_sub(1, core::sync::atomic::Ordering::Relaxed);
+        }
+        t
+    }
+
+    fn approx_len(&self) -> usize {
+        self.len.load(core::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn kind(&self) -> SchedKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::LockKind;
+    use super::*;
+    use crate::task::Task;
+    use nanotask_locks::PtLock;
+    use std::sync::Arc;
+
+    fn fake(n: usize) -> TaskPtr {
+        TaskPtr(n as *mut Task)
+    }
+
+    #[test]
+    fn fifo_roundtrip() {
+        let s = CentralScheduler::<PtLock<16>>::new(Policy::Fifo, SchedKind::Central(LockKind::PtLock));
+        s.add_ready(fake(1), 0, None);
+        s.add_ready(fake(2), 0, None);
+        assert_eq!(s.approx_len(), 2);
+        assert_eq!(s.get_ready(0, None), Some(fake(1)));
+        assert_eq!(s.get_ready(1, None), Some(fake(2)));
+        assert_eq!(s.get_ready(1, None), None);
+        assert_eq!(s.approx_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_lose_nothing() {
+        let s = Arc::new(CentralScheduler::<PtLock<64>>::new(
+            Policy::Fifo,
+            SchedKind::Central(LockKind::PtLock),
+        ));
+        const PER: usize = 5_000;
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        s.add_ready(fake(p * PER + i + 1), p, None);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|c| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while got.len() < PER {
+                        if let Some(t) = s.get_ready(c, None) {
+                            got.push(t.0 as usize);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 2 * PER, "every task delivered exactly once");
+    }
+}

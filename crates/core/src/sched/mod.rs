@@ -1,0 +1,329 @@
+//! Task scheduling system (§3 of the paper).
+//!
+//! "When a task becomes ready, it is forwarded to the scheduling system.
+//! Then, when a core becomes idle, it calls the scheduler to ask for more
+//! work." Three interchangeable synchronization strategies implement that
+//! contract:
+//!
+//! * [`sync_sched::SyncScheduler`] — the paper's design (Listing 5):
+//!   per-NUMA wait-free SPSC buffers decouple task *insertion* from the
+//!   scheduler, and a Delegation Ticket Lock both protects the policy
+//!   queue and lets the lock owner *serve* tasks directly to waiting
+//!   workers.
+//! * [`central::CentralScheduler`] — a single lock around the policy
+//!   queue; instantiated with the PTLock it is the "w/o DTLock" ablation
+//!   of §6.2, and it accepts any [`RawLock`] for the lock-design studies.
+//! * [`worksteal::WorkStealScheduler`] — per-worker deques with stealing,
+//!   the architecture of the OpenMP runtimes the paper compares against
+//!   in §6.3.
+
+pub mod central;
+pub mod sync_sched;
+pub mod worksteal;
+
+use nanotask_trace::CoreRecorder;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+use crate::task::Task;
+
+/// Send/Sync wrapper for task pointers travelling through queues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskPtr(pub *mut Task);
+
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// Ordering policy of the (unsynchronized) ready queue — the paper keeps
+/// the policy pluggable behind the scheduler lock, which is the stated
+/// reason for rejecting a lock-free scheduler design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// First-in first-out (creation order; the paper's Figure 3 example).
+    #[default]
+    Fifo,
+    /// Last-in first-out (depth-first, cache-friendlier for some loads).
+    Lifo,
+    /// Highest task priority first, FIFO among equals — the OmpSs-2
+    /// `priority` clause. Exists partly to demonstrate the paper's §3.2
+    /// argument for a lock-protected scheduler: "adding new scheduling
+    /// policies should be easy" (a lock-free design would need a new
+    /// ad-hoc structure per policy; this one is a 20-line change).
+    Priority,
+}
+
+/// Heap entry: priority first, then insertion order (older wins ties).
+struct PrioEntry {
+    prio: i32,
+    seq: u64,
+    task: TaskPtr,
+}
+
+impl PartialEq for PrioEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.prio == other.prio && self.seq == other.seq
+    }
+}
+impl Eq for PrioEntry {}
+impl PartialOrd for PrioEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PrioEntry {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Max-heap: higher priority first, then lower seq (FIFO).
+        self.prio
+            .cmp(&other.prio)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The *unsynchronized* scheduler of Listing 5: a plain queue with a
+/// policy. All synchronization lives in the wrapper.
+pub struct PolicyQueue {
+    q: VecDeque<TaskPtr>,
+    heap: BinaryHeap<PrioEntry>,
+    policy: Policy,
+    seq: u64,
+}
+
+impl PolicyQueue {
+    /// Empty queue with the given policy.
+    pub fn new(policy: Policy) -> Self {
+        Self {
+            q: VecDeque::new(),
+            heap: BinaryHeap::new(),
+            policy,
+            seq: 0,
+        }
+    }
+
+    /// Insert a ready task.
+    #[inline]
+    pub fn push(&mut self, t: TaskPtr) {
+        match self.policy {
+            Policy::Priority => {
+                // SAFETY-free read: priority is an immutable task field
+                // written before publication; test doubles pass null-ish
+                // fake pointers only under Fifo/Lifo.
+                let prio = unsafe { (*t.0).priority };
+                self.seq += 1;
+                self.heap.push(PrioEntry {
+                    prio,
+                    seq: self.seq,
+                    task: t,
+                });
+            }
+            _ => self.q.push_back(t),
+        }
+    }
+
+    /// Remove the next task per policy.
+    #[inline]
+    pub fn pop(&mut self) -> Option<TaskPtr> {
+        match self.policy {
+            Policy::Fifo => self.q.pop_front(),
+            Policy::Lifo => self.q.pop_back(),
+            Policy::Priority => self.heap.pop().map(|e| e.task),
+        }
+    }
+
+    /// Tasks currently queued.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.q.len() + self.heap.len()
+    }
+
+    /// True when no tasks are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty() && self.heap.is_empty()
+    }
+}
+
+/// Which lock protects a [`central::CentralScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LockKind {
+    /// Partitioned Ticket Lock (the "w/o DTLock" ablation).
+    #[default]
+    PtLock,
+    /// Classic ticket lock.
+    Ticket,
+    /// MCS queue lock.
+    Mcs,
+    /// Ticket lock with waiting array.
+    Twa,
+    /// Test-and-set spin lock.
+    Spin,
+}
+
+/// Work-stealing flavour, modelling the §6.3 OpenMP comparators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WsVariant {
+    /// Local LIFO, steal oldest — LLVM/Intel-style.
+    #[default]
+    LifoLocal,
+    /// Local FIFO, steal oldest — GOMP-style shared-queue behaviour.
+    FifoLocal,
+}
+
+/// Scheduler configuration, the §6 ablation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum SchedKind {
+    /// SPSC buffers + Delegation Ticket Lock (the optimized runtime).
+    /// §3.1 discusses one global add-buffer up to one per core; the paper
+    /// uses one per NUMA node.
+    #[default]
+    Delegation,
+    /// Delegation scheduler using the flat-combining DTLock extension
+    /// (§8 future work, implemented): the owner serves *batches* of
+    /// waiters in one pass instead of one `front`/`set_item`/`pop_front`
+    /// round-trip each.
+    DelegationFlat,
+    /// Central lock-protected scheduler.
+    Central(LockKind),
+    /// Work-stealing comparator.
+    WorkSteal(WsVariant),
+}
+
+
+/// Optional per-call trace recorder.
+pub type Rec<'a> = Option<&'a mut CoreRecorder>;
+
+/// The scheduler contract shared by every implementation.
+pub trait Scheduler: Send + Sync {
+    /// Add a ready task (any worker, any time).
+    fn add_ready(&self, task: TaskPtr, worker: usize, rec: Rec<'_>);
+    /// Ask for a task for `worker`; `None` means no work available now.
+    fn get_ready(&self, worker: usize, rec: Rec<'_>) -> Option<TaskPtr>;
+    /// Approximate number of queued tasks (diagnostics only).
+    fn approx_len(&self) -> usize;
+    /// Which configuration this is.
+    fn kind(&self) -> SchedKind;
+}
+
+/// Build a scheduler.
+///
+/// `workers` is the worker-thread count, `numa_nodes` partitions the
+/// delegation scheduler's SPSC add-buffers, `spsc_capacity` bounds each
+/// buffer (Listing 5 uses 100).
+pub fn make_scheduler(
+    kind: SchedKind,
+    workers: usize,
+    numa_nodes: usize,
+    policy: Policy,
+    spsc_capacity: usize,
+) -> Arc<dyn Scheduler> {
+    use nanotask_locks::{McsLock, PtLock, SpinLock, TicketLock, TwaLock};
+    match kind {
+        SchedKind::Delegation => Arc::new(sync_sched::SyncScheduler::new(
+            workers,
+            numa_nodes,
+            policy,
+            spsc_capacity,
+        )),
+        SchedKind::DelegationFlat => Arc::new(sync_sched::SyncScheduler::new_flat(
+            workers,
+            numa_nodes,
+            policy,
+            spsc_capacity,
+        )),
+        SchedKind::Central(LockKind::PtLock) => {
+            Arc::new(central::CentralScheduler::<PtLock<64>>::new(policy, kind))
+        }
+        SchedKind::Central(LockKind::Ticket) => {
+            Arc::new(central::CentralScheduler::<TicketLock>::new(policy, kind))
+        }
+        SchedKind::Central(LockKind::Mcs) => {
+            Arc::new(central::CentralScheduler::<McsLock>::new(policy, kind))
+        }
+        SchedKind::Central(LockKind::Twa) => {
+            Arc::new(central::CentralScheduler::<TwaLock>::new(policy, kind))
+        }
+        SchedKind::Central(LockKind::Spin) => {
+            Arc::new(central::CentralScheduler::<SpinLock>::new(policy, kind))
+        }
+        SchedKind::WorkSteal(v) => Arc::new(worksteal::WorkStealScheduler::new(workers, v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(n: usize) -> TaskPtr {
+        TaskPtr(n as *mut Task)
+    }
+
+    #[test]
+    fn policy_fifo() {
+        let mut q = PolicyQueue::new(Policy::Fifo);
+        q.push(fake(1));
+        q.push(fake(2));
+        assert_eq!(q.pop(), Some(fake(1)));
+        assert_eq!(q.pop(), Some(fake(2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn policy_lifo() {
+        let mut q = PolicyQueue::new(Policy::Lifo);
+        q.push(fake(1));
+        q.push(fake(2));
+        assert_eq!(q.pop(), Some(fake(2)));
+        assert_eq!(q.pop(), Some(fake(1)));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = PolicyQueue::new(Policy::Fifo);
+        assert!(q.is_empty());
+        q.push(fake(1));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        for kind in [
+            SchedKind::Delegation,
+            SchedKind::DelegationFlat,
+            SchedKind::Central(LockKind::PtLock),
+            SchedKind::Central(LockKind::Ticket),
+            SchedKind::Central(LockKind::Mcs),
+            SchedKind::Central(LockKind::Twa),
+            SchedKind::Central(LockKind::Spin),
+            SchedKind::WorkSteal(WsVariant::LifoLocal),
+            SchedKind::WorkSteal(WsVariant::FifoLocal),
+        ] {
+            let s = make_scheduler(kind, 4, 2, Policy::Fifo, 64);
+            assert_eq!(s.kind(), kind);
+            assert_eq!(s.approx_len(), 0);
+        }
+    }
+
+    #[test]
+    fn factory_roundtrip_tasks() {
+        for kind in [
+            SchedKind::Delegation,
+            SchedKind::DelegationFlat,
+            SchedKind::Central(LockKind::PtLock),
+            SchedKind::WorkSteal(WsVariant::LifoLocal),
+        ] {
+            let s = make_scheduler(kind, 2, 1, Policy::Fifo, 8);
+            s.add_ready(fake(0x1000), 0, None);
+            s.add_ready(fake(0x2000), 1, None);
+            let mut got = vec![];
+            while let Some(t) = s.get_ready(0, None) {
+                got.push(t.0 as usize);
+            }
+            while let Some(t) = s.get_ready(1, None) {
+                got.push(t.0 as usize);
+            }
+            got.sort();
+            assert_eq!(got, vec![0x1000, 0x2000], "kind {kind:?}");
+        }
+    }
+}

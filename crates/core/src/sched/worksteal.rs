@@ -1,0 +1,205 @@
+//! Work-stealing scheduler — the §6.3 comparator.
+//!
+//! "Both the LLVM, AMD AOCC and Intel OpenMP runtime are based on a
+//! work-stealing scheduler, which will allow us to determine if our
+//! centralized delegation-based implementation can outperform
+//! work-stealing runtimes."
+//!
+//! Per-worker deques protected by small mutexes (which is what GOMP and
+//! the LLVM OpenMP runtime actually do — neither uses a lock-free
+//! Chase–Lev deque for tasks), local push/pop on one end, steals from the
+//! other end of a victim chosen by round-robin probing from a random
+//! start. The §3 observation this exists to demonstrate: "on the typical
+//! application design pattern in which a single thread creates all tasks,
+//! work-stealing behaves similarly to the global lock approach because
+//! most threads need to steal work from a single creator queue".
+
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use nanotask_locks::CachePadded;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+use super::{Rec, SchedKind, Scheduler, TaskPtr, WsVariant};
+
+/// Work-stealing scheduler with one deque per worker.
+pub struct WorkStealScheduler {
+    deques: Box<[CachePadded<Mutex<VecDeque<TaskPtr>>>]>,
+    seeds: Box<[CachePadded<AtomicU64>]>,
+    variant: WsVariant,
+    len: AtomicUsize,
+}
+
+impl WorkStealScheduler {
+    /// Create a scheduler for `workers` workers.
+    pub fn new(workers: usize, variant: WsVariant) -> Self {
+        let n = workers.max(1);
+        Self {
+            deques: (0..n)
+                .map(|_| CachePadded::new(Mutex::new(VecDeque::new())))
+                .collect(),
+            seeds: (0..n)
+                .map(|i| CachePadded::new(AtomicU64::new(0x9E37_79B9 ^ (i as u64 + 1))))
+                .collect(),
+            variant,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// xorshift step on the worker's private seed.
+    fn next_rand(&self, worker: usize) -> u64 {
+        let s = &self.seeds[worker % self.seeds.len()];
+        let mut x = s.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.store(x, Ordering::Relaxed);
+        x
+    }
+
+    fn pop_local(&self, worker: usize) -> Option<TaskPtr> {
+        let mut dq = self.deques[worker].lock();
+        match self.variant {
+            WsVariant::LifoLocal => dq.pop_back(),
+            WsVariant::FifoLocal => dq.pop_front(),
+        }
+    }
+
+    fn steal(&self, thief: usize) -> Option<TaskPtr> {
+        let n = self.deques.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = (self.next_rand(thief) as usize) % n;
+        for i in 0..n {
+            let victim = (start + i) % n;
+            if victim == thief {
+                continue;
+            }
+            // Steal the *oldest* task (opposite end of LIFO local pops):
+            // the standard work-stealing discipline.
+            if let Some(t) = self.deques[victim].lock().pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+impl Scheduler for WorkStealScheduler {
+    fn add_ready(&self, task: TaskPtr, worker: usize, rec: Rec<'_>) {
+        if let Some(r) = rec {
+            r.record(nanotask_trace::EventKind::AddReady, unsafe { (*task.0).id });
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+        self.deques[worker % self.deques.len()].lock().push_back(task);
+    }
+
+    fn get_ready(&self, worker: usize, _rec: Rec<'_>) -> Option<TaskPtr> {
+        let w = worker % self.deques.len();
+        let t = self.pop_local(w).or_else(|| self.steal(w));
+        if t.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        t
+    }
+
+    fn approx_len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    fn kind(&self) -> SchedKind {
+        SchedKind::WorkSteal(self.variant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+    use std::sync::Arc;
+
+    fn fake(n: usize) -> TaskPtr {
+        TaskPtr(n as *mut Task)
+    }
+
+    #[test]
+    fn local_lifo_order() {
+        let s = WorkStealScheduler::new(2, WsVariant::LifoLocal);
+        s.add_ready(fake(1), 0, None);
+        s.add_ready(fake(2), 0, None);
+        assert_eq!(s.get_ready(0, None), Some(fake(2)));
+        assert_eq!(s.get_ready(0, None), Some(fake(1)));
+    }
+
+    #[test]
+    fn local_fifo_order() {
+        let s = WorkStealScheduler::new(2, WsVariant::FifoLocal);
+        s.add_ready(fake(1), 0, None);
+        s.add_ready(fake(2), 0, None);
+        assert_eq!(s.get_ready(0, None), Some(fake(1)));
+        assert_eq!(s.get_ready(0, None), Some(fake(2)));
+    }
+
+    #[test]
+    fn steals_oldest_from_victim() {
+        let s = WorkStealScheduler::new(2, WsVariant::LifoLocal);
+        s.add_ready(fake(1), 0, None);
+        s.add_ready(fake(2), 0, None);
+        // Worker 1 has nothing: it must steal worker 0's oldest task.
+        assert_eq!(s.get_ready(1, None), Some(fake(1)));
+        assert_eq!(s.get_ready(0, None), Some(fake(2)));
+        assert_eq!(s.get_ready(1, None), None);
+    }
+
+    #[test]
+    fn single_worker_cannot_steal() {
+        let s = WorkStealScheduler::new(1, WsVariant::LifoLocal);
+        assert_eq!(s.get_ready(0, None), None);
+        s.add_ready(fake(1), 0, None);
+        assert_eq!(s.get_ready(0, None), Some(fake(1)));
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const COUNT: usize = 20_000;
+        let s = Arc::new(WorkStealScheduler::new(4, WsVariant::LifoLocal));
+        let prod = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for i in 0..COUNT {
+                    s.add_ready(fake(i + 1), 0, None);
+                }
+            })
+        };
+        let thieves: Vec<_> = (1..4)
+            .map(|w| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut dry = 0;
+                    while dry < 5_000 {
+                        match s.get_ready(w, None) {
+                            Some(t) => {
+                                got.push(t.0 as usize);
+                                dry = 0;
+                            }
+                            None => {
+                                dry += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        prod.join().unwrap();
+        let mut all: Vec<usize> = thieves.into_iter().flat_map(|t| t.join().unwrap()).collect();
+        while let Some(t) = s.get_ready(0, None) {
+            all.push(t.0 as usize);
+        }
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), COUNT);
+    }
+}

@@ -1,0 +1,273 @@
+//! Task representation and life cycle.
+//!
+//! "The first stage of a task's life cycle is its creation, which involves
+//! the memory allocator. The runtime then checks its data dependencies to
+//! determine if the task is ready or blocked [...]. Once all its
+//! dependencies are satisfied, the task becomes ready and is added to the
+//! scheduler [...]. Once the task has executed, it releases its
+//! dependencies so that its successor tasks may become ready." (§1)
+//!
+//! A [`Task`] therefore carries three independent counters:
+//!
+//! * `blockers` — unsatisfied accesses + one *creation guard*; the
+//!   transition to zero makes the task ready (exactly once).
+//! * `live_children` — running direct children + one *body guard*; the
+//!   transition to zero marks the task *fully done* (its subtree
+//!   finished), which is when the parent is notified and taskwaits
+//!   unblock.
+//! * `removal_refs` — one per data access plus one for the subtree; the
+//!   transition to zero allows the memory to be reclaimed. Accesses drop
+//!   their reference when their Atomic State Machine reaches its terminal
+//!   state (see [`crate::deps::wait_free`]), so a task object can outlive
+//!   its execution while successors still read its access metadata —
+//!   without any global reclamation scheme.
+
+use core::cell::UnsafeCell;
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::HashMap;
+
+use crate::deps::access::DataAccess;
+use crate::deps::AccessDecl;
+use crate::runtime::TaskCtx;
+
+/// Unique (per-runtime) task identifier.
+pub type TaskId = u64;
+
+/// Type-erased task body.
+pub type TaskBody = Box<dyn FnOnce(&TaskCtx) + Send + 'static>;
+
+/// Bottom map of a dependency domain: address → last access registered to
+/// that address among this task's children. Thread-confined to the task's
+/// executing thread (the *single-creator invariant*: only a task's own
+/// body creates its children, as in OmpSs-2).
+pub type BottomMap = HashMap<usize, *mut DataAccess>;
+
+/// A task: body + declared accesses + life-cycle counters.
+///
+/// Tasks are allocated through the runtime's
+/// [`nanotask_alloc::RuntimeAllocator`] and referenced by raw pointers
+/// inside the runtime; the reference-counting protocol above makes the
+/// frees race-free.
+pub struct Task {
+    /// Unique id (also used as trace payload).
+    pub id: TaskId,
+    /// Human-readable label for traces/debugging.
+    pub label: &'static str,
+    /// Parent task; null for the root task.
+    pub parent: *mut Task,
+    /// Worker that created the task.
+    pub created_by: u32,
+    /// The body; taken exactly once by the executing worker.
+    pub body: UnsafeCell<Option<TaskBody>>,
+    /// Unsatisfied access count + 1 creation guard.
+    pub blockers: AtomicUsize,
+    /// Live direct children + 1 body guard.
+    pub live_children: AtomicUsize,
+    /// Access terminal refs + 1 subtree ref.
+    pub removal_refs: AtomicUsize,
+    /// Set when the whole subtree (body + descendants) finished.
+    pub fully_done: AtomicBool,
+    /// Declared accesses (modes resolved, reduction info attached during
+    /// registration). Mutated only by the creator before the task is
+    /// published and read afterwards.
+    pub decls: UnsafeCell<Vec<AccessDecl>>,
+    /// Wait-free system: array of `decls.len()` Atomic State Machines.
+    /// Null when the locking dependency system is active.
+    pub accesses: *mut DataAccess,
+    /// Number of entries in `accesses`.
+    pub n_accesses: usize,
+    /// Dependency domain for this task's children (wait-free system).
+    pub child_bottom: UnsafeCell<BottomMap>,
+    /// External completion signal, set just before the subtree reference
+    /// is dropped. Used by `Runtime::run` to wait for the root task
+    /// without touching task memory that may be reclaimed concurrently.
+    pub completion_flag: Option<std::sync::Arc<AtomicBool>>,
+    /// Scheduling priority (OmpSs-2 `priority` clause); higher runs
+    /// earlier under [`crate::sched::Policy::Priority`]. Immutable after
+    /// creation.
+    pub priority: i32,
+}
+
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+impl Task {
+    /// Build a task object (not yet registered with the dependency
+    /// system). `n_accesses`/`accesses` are filled in by the dependency
+    /// system if it materializes ASMs.
+    pub fn new(
+        id: TaskId,
+        label: &'static str,
+        parent: *mut Task,
+        created_by: u32,
+        body: TaskBody,
+        decls: Vec<AccessDecl>,
+    ) -> Self {
+        let n = decls.len();
+        Task {
+            id,
+            label,
+            parent,
+            created_by,
+            body: UnsafeCell::new(Some(body)),
+            // +1 creation guard, dropped by the creator after registration.
+            blockers: AtomicUsize::new(n + 1),
+            // +1 body guard, dropped when the body finishes.
+            live_children: AtomicUsize::new(1),
+            // one ref per access + 1 subtree ref.
+            removal_refs: AtomicUsize::new(n + 1),
+            fully_done: AtomicBool::new(false),
+            decls: UnsafeCell::new(decls),
+            accesses: core::ptr::null_mut(),
+            n_accesses: 0,
+            child_bottom: UnsafeCell::new(HashMap::new()),
+            completion_flag: None,
+            priority: 0,
+        }
+    }
+
+    /// Declared accesses. Safe to read once the task is published (the
+    /// creator no longer mutates them).
+    ///
+    /// # Safety
+    /// Must not be called concurrently with the creator's registration.
+    pub unsafe fn decls(&self) -> &[AccessDecl] {
+        unsafe { &*self.decls.get() }
+    }
+
+    /// Remove one blocker; returns true when the task just became ready
+    /// (transitioned to zero). The caller must then schedule it.
+    #[inline]
+    pub fn unblock(&self) -> bool {
+        let prev = self.blockers.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "blockers underflow on task {}", self.id);
+        prev == 1
+    }
+
+    /// Account a new live child (called by the creator, which is the
+    /// task's own body — so the body guard is still held).
+    #[inline]
+    pub fn add_child(&self) {
+        let prev = self.live_children.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev >= 1, "child added to a finished task {}", self.id);
+    }
+
+    /// Drop one live-children reference (a finished child, or the body
+    /// guard). Returns true when the task just became *fully done*.
+    #[inline]
+    pub fn drop_child_ref(&self) -> bool {
+        let prev = self.live_children.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "live_children underflow on task {}", self.id);
+        if prev == 1 {
+            self.fully_done.store(true, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of children currently outstanding (excludes the body guard
+    /// once the body finished). Used by taskwait.
+    #[inline]
+    pub fn pending_children(&self) -> usize {
+        self.live_children.load(Ordering::Acquire)
+    }
+
+    /// Drop one removal reference. Returns true when the memory may be
+    /// reclaimed (transitioned to zero).
+    #[inline]
+    pub fn drop_removal_ref(&self) -> bool {
+        let prev = self.removal_refs.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "removal_refs underflow on task {}", self.id);
+        prev == 1
+    }
+
+    /// Take the body for execution. Returns `None` if already taken.
+    ///
+    /// # Safety
+    /// Only the worker that dequeued the task may call this.
+    pub unsafe fn take_body(&self) -> Option<TaskBody> {
+        unsafe { (*self.body.get()).take() }
+    }
+
+    /// Whether the whole subtree has completed.
+    #[inline]
+    pub fn is_fully_done(&self) -> bool {
+        self.fully_done.load(Ordering::Acquire)
+    }
+
+    /// The ASM for access index `i` (wait-free system only).
+    ///
+    /// # Safety
+    /// `i < n_accesses` and `accesses` non-null.
+    pub unsafe fn access(&self, i: usize) -> &DataAccess {
+        debug_assert!(i < self.n_accesses);
+        unsafe { &*self.accesses.add(i) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::AccessMode;
+
+    fn dummy(n_accesses: usize) -> Task {
+        let decls = (0..n_accesses)
+            .map(|i| AccessDecl::new(0x1000 + i * 8, 8, AccessMode::Write))
+            .collect();
+        Task::new(1, "t", core::ptr::null_mut(), 0, Box::new(|_| {}), decls)
+    }
+
+    #[test]
+    fn becomes_ready_after_guard_and_accesses() {
+        let t = dummy(2);
+        assert!(!t.unblock()); // access 1 satisfied
+        assert!(!t.unblock()); // access 2 satisfied
+        assert!(t.unblock()); // creation guard dropped → ready
+    }
+
+    #[test]
+    fn zero_access_task_ready_on_guard_drop() {
+        let t = dummy(0);
+        assert!(t.unblock());
+    }
+
+    #[test]
+    fn fully_done_after_children_and_body() {
+        let t = dummy(0);
+        t.add_child();
+        t.add_child();
+        assert!(!t.drop_child_ref()); // child 1 done
+        assert!(!t.drop_child_ref()); // child 2 done
+        assert!(!t.is_fully_done());
+        assert!(t.drop_child_ref()); // body guard
+        assert!(t.is_fully_done());
+    }
+
+    #[test]
+    fn removal_refs_count_accesses_plus_one() {
+        let t = dummy(2);
+        assert!(!t.drop_removal_ref());
+        assert!(!t.drop_removal_ref());
+        assert!(t.drop_removal_ref());
+    }
+
+    #[test]
+    fn body_taken_once() {
+        let t = dummy(0);
+        unsafe {
+            assert!(t.take_body().is_some());
+            assert!(t.take_body().is_none());
+        }
+    }
+
+    #[test]
+    fn pending_children_tracks_guard() {
+        let t = dummy(0);
+        assert_eq!(t.pending_children(), 1); // body guard
+        t.add_child();
+        assert_eq!(t.pending_children(), 2);
+        t.drop_child_ref();
+        assert_eq!(t.pending_children(), 1);
+    }
+}

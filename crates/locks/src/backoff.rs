@@ -1,0 +1,124 @@
+//! Bounded exponential backoff for spin loops.
+//!
+//! On the paper's evaluation machines every worker owns a hardware thread,
+//! so raw `pause`-style spinning is appropriate. This reproduction also has
+//! to stay live when workers are *oversubscribed* (more worker threads than
+//! hardware threads — e.g. simulating the 128-core AMD Rome profile on a
+//! small container). A waiter that never yields would then starve the very
+//! thread that is supposed to release it. `Backoff` therefore spins with
+//! `core::hint::spin_loop` for a short exponentially-growing burst and
+//! switches to `std::thread::yield_now` once the burst budget is exhausted.
+
+/// Exponential spin/yield backoff helper.
+///
+/// ```
+/// use nanotask_locks::Backoff;
+/// use core::sync::atomic::{AtomicBool, Ordering};
+///
+/// let flag = AtomicBool::new(true); // normally set by another thread
+/// let mut backoff = Backoff::new();
+/// while !flag.load(Ordering::Acquire) {
+///     backoff.snooze();
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Spin budget (log2) before starting to yield the CPU.
+    const SPIN_LIMIT: u32 = 6;
+
+    /// Create a fresh backoff state.
+    #[inline]
+    pub const fn new() -> Self {
+        Self { step: 0 }
+    }
+
+    /// Reset to the initial (pure-spin) state.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Back off once: spin for `2^step` pause instructions, or yield the
+    /// thread once the spin budget is exhausted.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                core::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Spin without ever yielding; used in wait-free paths where the
+    /// awaited condition is guaranteed to arrive within a bounded number of
+    /// remote instructions.
+    #[inline]
+    pub fn spin(&mut self) {
+        let limit = self.step.min(Self::SPIN_LIMIT);
+        for _ in 0..(1u32 << limit) {
+            core::hint::spin_loop();
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// True once the backoff has escalated to yielding.
+    #[inline]
+    pub fn is_yielding(&self) -> bool {
+        self.step > Self::SPIN_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_to_yielding() {
+        let mut b = Backoff::new();
+        assert!(!b.is_yielding());
+        for _ in 0..=Backoff::SPIN_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        // Further snoozes stay in the yielding regime and must not panic.
+        for _ in 0..8 {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+    }
+
+    #[test]
+    fn reset_returns_to_spinning() {
+        let mut b = Backoff::new();
+        for _ in 0..32 {
+            b.snooze();
+        }
+        b.reset();
+        assert!(!b.is_yielding());
+    }
+
+    #[test]
+    fn spin_never_yields_flag() {
+        let mut b = Backoff::new();
+        for _ in 0..100 {
+            b.spin();
+        }
+        // `spin` saturates the step counter but is_yielding reflects snooze
+        // escalation; after heavy spinning the state must still be valid.
+        b.reset();
+        assert!(!b.is_yielding());
+    }
+}

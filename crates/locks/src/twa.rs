@@ -1,0 +1,165 @@
+//! TWA — Ticket lock augmented With a waiting Array (Dice & Kogan,
+//! Euro-Par 2019), the paper's third §3.2 comparison point.
+//!
+//! TWA keeps the two-word footprint of a classic ticket lock but moves
+//! *long-term* waiting off the `serving` word: a waiter whose ticket is
+//! more than one position away parks on a slot of a global shared waiting
+//! array (hashed by lock address and ticket), and only the waiter that is
+//! next in line spins on `serving` itself. Each release therefore
+//! invalidates at most two remote lines: the `serving` word (one direct
+//! spinner) and one waiting-array slot (promoting the following waiter to
+//! direct spinning).
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{Backoff, CachePadded, RawLock};
+
+/// Size of the process-global waiting array. Power of two; collisions are
+/// benign (they cause spurious re-checks, never missed wakeups).
+const WA_SIZE: usize = 4096;
+
+/// The global waiting array shared by every `TwaLock` in the process, as
+/// in the TWA paper ("a single array shared amongst all locks").
+static WAITING_ARRAY: [AtomicU64; WA_SIZE] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    [ZERO; WA_SIZE]
+};
+
+#[inline]
+fn wa_slot(lock_addr: usize, ticket: u64) -> &'static AtomicU64 {
+    // Mix the lock identity and ticket; the shift drops alignment zeros.
+    let h = (lock_addr >> 4) as u64 ^ ticket.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    &WAITING_ARRAY[(h as usize) & (WA_SIZE - 1)]
+}
+
+/// Ticket lock augmented with a waiting array.
+#[derive(Default)]
+pub struct TwaLock {
+    next: CachePadded<AtomicU64>,
+    serving: CachePadded<AtomicU64>,
+}
+
+impl TwaLock {
+    /// Long-term threshold: waiters further than this from their turn park
+    /// on the waiting array. The TWA paper uses 1 (only the immediate
+    /// successor spins on `serving`).
+    const LONG_TERM: u64 = 1;
+
+    /// Create an unlocked TWA lock.
+    pub const fn new() -> Self {
+        Self {
+            next: CachePadded::new(AtomicU64::new(0)),
+            serving: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl RawLock for TwaLock {
+    fn lock(&self) {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = Backoff::new();
+        loop {
+            let serving = self.serving.load(Ordering::Acquire);
+            let dist = ticket.wrapping_sub(serving);
+            if dist == 0 {
+                return;
+            }
+            if dist <= Self::LONG_TERM {
+                // Short-term: spin directly on the serving word.
+                backoff.snooze();
+                continue;
+            }
+            // Long-term: watch the waiting-array slot for our ticket and
+            // only re-read `serving` when the slot changes (or periodically,
+            // to be immune to hash collisions and missed pings).
+            let slot = wa_slot(self as *const _ as usize, ticket);
+            let seen = slot.load(Ordering::Acquire);
+            let mut spins = 0u32;
+            while slot.load(Ordering::Acquire) == seen {
+                backoff.snooze();
+                spins += 1;
+                if spins >= 64 {
+                    break; // periodic serving re-check
+                }
+            }
+        }
+    }
+
+    fn unlock(&self) {
+        let s = self.serving.load(Ordering::Relaxed).wrapping_add(1);
+        self.serving.store(s, Ordering::Release);
+        // Promote the waiter that is now at long-term distance boundary:
+        // ticket s + LONG_TERM parks on the array; ping its slot.
+        let slot = wa_slot(
+            self as *const _ as usize,
+            s.wrapping_add(Self::LONG_TERM),
+        );
+        slot.fetch_add(1, Ordering::Release);
+    }
+
+    fn try_lock(&self) -> bool {
+        let serving = self.serving.load(Ordering::Relaxed);
+        self.next
+            .compare_exchange(
+                serving,
+                serving.wrapping_add(1),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutual_exclusion() {
+        crate::tests::mutual_exclusion::<TwaLock>(4, 2_000);
+    }
+
+    #[test]
+    fn heavier_contention_exercises_long_term_path() {
+        // 8 threads guarantees distances > LONG_TERM occur.
+        crate::tests::mutual_exclusion::<TwaLock>(8, 500);
+    }
+
+    #[test]
+    fn try_lock_behaviour() {
+        let l = TwaLock::new();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn two_locks_share_waiting_array_without_interference() {
+        use std::sync::Arc;
+        let a = Arc::new(TwaLock::new());
+        let b = Arc::new(TwaLock::new());
+        let hs: Vec<_> = (0..4)
+            .map(|i| {
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        if i % 2 == 0 {
+                            a.lock();
+                            a.unlock();
+                        } else {
+                            b.lock();
+                            b.unlock();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+}

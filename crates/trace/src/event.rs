@@ -1,0 +1,147 @@
+//! Trace event model.
+//!
+//! Events mirror the runtime subsystems the paper's Figures 10–11
+//! visualise: running tasks (red in the paper), task creation (cyan),
+//! generic runtime (deep blue), starvation (khaki), DTLock task serving
+//! (yellow arrows), wait-free queue draining (green) and kernel
+//! interrupts (purple).
+
+use serde::{Deserialize, Serialize};
+
+/// What happened. The discriminants are stable: they are the on-disk
+/// encoding of the CTF-lite format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A task body started executing. Payload: task id.
+    TaskStart = 0,
+    /// A task body finished. Payload: task id.
+    TaskEnd = 1,
+    /// Task creation (allocation + dependency registration) began.
+    /// Payload: child task id.
+    CreateBegin = 2,
+    /// Task creation finished. Payload: child task id.
+    CreateEnd = 3,
+    /// Worker entered the scheduler asking for work. Payload: worker id.
+    SchedEnter = 4,
+    /// Worker left the scheduler. Payload: 1 if it got a task, 0 if not.
+    SchedExit = 5,
+    /// The DTLock owner served a ready task to a waiting worker
+    /// (the yellow arrows of Figure 10). Payload: served worker id.
+    SchedServe = 6,
+    /// The scheduler owner drained the wait-free SPSC buffers into the
+    /// ready queue (green in Figure 10). Payload: number of tasks moved.
+    SchedDrain = 7,
+    /// A ready task was added (producer side). Payload: task id.
+    AddReady = 8,
+    /// Dependency registration of one access. Payload: task id.
+    DepRegister = 9,
+    /// Dependency release (unregister) of one task. Payload: task id.
+    DepRelease = 10,
+    /// Worker found no work and is starving (khaki in Figure 10).
+    IdleBegin = 11,
+    /// Worker stopped starving.
+    IdleEnd = 12,
+    /// Synthetic kernel interrupt began on this core (purple, Figure 11).
+    KernelInterruptBegin = 13,
+    /// Synthetic kernel interrupt ended.
+    KernelInterruptEnd = 14,
+    /// Taskwait began. Payload: waiting task id.
+    TaskwaitBegin = 15,
+    /// Taskwait ended.
+    TaskwaitEnd = 16,
+    /// Free-form user marker.
+    UserMarker = 17,
+}
+
+impl EventKind {
+    /// Decode a stored discriminant.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        use EventKind::*;
+        Some(match v {
+            0 => TaskStart,
+            1 => TaskEnd,
+            2 => CreateBegin,
+            3 => CreateEnd,
+            4 => SchedEnter,
+            5 => SchedExit,
+            6 => SchedServe,
+            7 => SchedDrain,
+            8 => AddReady,
+            9 => DepRegister,
+            10 => DepRelease,
+            11 => IdleBegin,
+            12 => IdleEnd,
+            13 => KernelInterruptBegin,
+            14 => KernelInterruptEnd,
+            15 => TaskwaitBegin,
+            16 => TaskwaitEnd,
+            17 => UserMarker,
+            _ => return None,
+        })
+    }
+
+    /// All kinds, for exhaustive round-trip tests.
+    pub fn all() -> &'static [EventKind] {
+        use EventKind::*;
+        &[
+            TaskStart,
+            TaskEnd,
+            CreateBegin,
+            CreateEnd,
+            SchedEnter,
+            SchedExit,
+            SchedServe,
+            SchedDrain,
+            AddReady,
+            DepRegister,
+            DepRelease,
+            IdleBegin,
+            IdleEnd,
+            KernelInterruptBegin,
+            KernelInterruptEnd,
+            TaskwaitBegin,
+            TaskwaitEnd,
+            UserMarker,
+        ]
+    }
+}
+
+/// One trace record: 24 bytes on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Nanoseconds since the tracer epoch.
+    pub ns: u64,
+    /// Kind-specific payload (task id, worker id, count...).
+    pub payload: u64,
+    /// Core/worker the event was recorded on.
+    pub core: u16,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip() {
+        for &k in EventKind::all() {
+            assert_eq!(EventKind::from_u8(k as u8), Some(k));
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        assert_eq!(EventKind::from_u8(200), None);
+        assert_eq!(EventKind::from_u8(18), None);
+    }
+
+    #[test]
+    fn all_kinds_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for &k in EventKind::all() {
+            assert!(seen.insert(k as u8), "duplicate discriminant for {k:?}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Synthetic OS-noise injection — the reproduction's stand-in for the
+//! kernel side of the paper's instrumentation (Figure 11).
+//!
+//! The paper captures real hardware interrupts through
+//! `perf_event_open()` and correlates them with runtime events to show
+//! how a stalled *serving* thread lets ready tasks accumulate, changing
+//! the DTLock serve pattern from irregular to regular. Capturing real
+//! kernel events needs privileges and specific hardware; what the
+//! analysis actually requires is (a) a worker stalled for a controlled
+//! interval and (b) `KernelInterrupt*` events in the same trace. This
+//! injector provides exactly that: the runtime polls
+//! [`NoiseInjector::check`] between tasks, and on the configured schedule
+//! the chosen worker busy-sleeps for `duration`, bracketing the stall
+//! with interrupt events.
+
+use crate::event::EventKind;
+use crate::CoreRecorder;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Configuration of a synthetic interrupt source.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseConfig {
+    /// Worker/core the noise pins itself to.
+    pub target_core: u16,
+    /// Time between interrupts.
+    pub period: Duration,
+    /// Stall length per interrupt.
+    pub duration: Duration,
+    /// Maximum number of interrupts to inject (0 = unlimited).
+    pub max_events: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self {
+            target_core: 0,
+            period: Duration::from_micros(500),
+            duration: Duration::from_micros(100),
+            max_events: 0,
+        }
+    }
+}
+
+/// Shared injector; workers call [`NoiseInjector::check`] between tasks.
+pub struct NoiseInjector {
+    cfg: NoiseConfig,
+    start: Instant,
+    fired: AtomicU64,
+    /// Next deadline in ns since `start`.
+    next_ns: AtomicU64,
+}
+
+impl NoiseInjector {
+    /// Create an injector; the first interrupt fires one `period` in.
+    pub fn new(cfg: NoiseConfig) -> Self {
+        Self {
+            cfg,
+            start: Instant::now(),
+            fired: AtomicU64::new(0),
+            next_ns: AtomicU64::new(cfg.period.as_nanos() as u64),
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &NoiseConfig {
+        &self.cfg
+    }
+
+    /// Number of interrupts injected so far.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Poll point: if this worker is the target and an interrupt is due,
+    /// stall for the configured duration, recording the bracket events.
+    /// Returns true if a stall happened.
+    pub fn check(&self, core: u16, rec: &mut CoreRecorder) -> bool {
+        if core != self.cfg.target_core {
+            return false;
+        }
+        if self.cfg.max_events != 0 && self.fired.load(Ordering::Relaxed) >= self.cfg.max_events {
+            return false;
+        }
+        let now = self.start.elapsed().as_nanos() as u64;
+        let due = self.next_ns.load(Ordering::Relaxed);
+        if now < due {
+            return false;
+        }
+        // Single target worker — no race on next_ns beyond this CAS guard.
+        if self
+            .next_ns
+            .compare_exchange(
+                due,
+                now + self.cfg.period.as_nanos() as u64,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return false;
+        }
+        let seq = self.fired.fetch_add(1, Ordering::Relaxed);
+        rec.record(EventKind::KernelInterruptBegin, seq);
+        // Busy-sleep: mirrors a core held by an interrupt handler — the
+        // thread makes no runtime progress but does not release the CPU
+        // budget to cooperating workers the way `sleep` would.
+        let until = Instant::now() + self.cfg.duration;
+        while Instant::now() < until {
+            core::hint::spin_loop();
+        }
+        rec.record(EventKind::KernelInterruptEnd, seq);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn injects_on_schedule() {
+        let tracer = Tracer::new(1, true);
+        let mut rec = tracer.recorder(0);
+        let inj = NoiseInjector::new(NoiseConfig {
+            target_core: 0,
+            period: Duration::from_millis(1),
+            duration: Duration::from_micros(200),
+            max_events: 2,
+        });
+        let deadline = Instant::now() + Duration::from_millis(200);
+        while inj.fired() < 2 && Instant::now() < deadline {
+            inj.check(0, &mut rec);
+        }
+        assert_eq!(inj.fired(), 2);
+        drop(rec);
+        let trace = tracer.finish();
+        let begins = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::KernelInterruptBegin)
+            .count();
+        let ends = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::KernelInterruptEnd)
+            .count();
+        assert_eq!(begins, 2);
+        assert_eq!(ends, 2);
+    }
+
+    #[test]
+    fn ignores_other_cores() {
+        let tracer = Tracer::new(2, true);
+        let mut rec = tracer.recorder(1);
+        let inj = NoiseInjector::new(NoiseConfig {
+            target_core: 0,
+            period: Duration::from_nanos(1),
+            duration: Duration::from_micros(1),
+            max_events: 0,
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(!inj.check(1, &mut rec));
+        assert_eq!(inj.fired(), 0);
+    }
+
+    #[test]
+    fn respects_max_events() {
+        let tracer = Tracer::new(1, true);
+        let mut rec = tracer.recorder(0);
+        let inj = NoiseInjector::new(NoiseConfig {
+            target_core: 0,
+            period: Duration::from_nanos(1),
+            duration: Duration::from_nanos(1),
+            max_events: 3,
+        });
+        for _ in 0..100 {
+            std::thread::sleep(Duration::from_micros(10));
+            inj.check(0, &mut rec);
+        }
+        assert_eq!(inj.fired(), 3);
+    }
+
+    #[test]
+    fn stall_duration_is_observable() {
+        let tracer = Tracer::new(1, true);
+        let mut rec = tracer.recorder(0);
+        let inj = NoiseInjector::new(NoiseConfig {
+            target_core: 0,
+            period: Duration::from_nanos(1),
+            duration: Duration::from_millis(2),
+            max_events: 1,
+        });
+        std::thread::sleep(Duration::from_micros(10));
+        let t0 = Instant::now();
+        assert!(inj.check(0, &mut rec));
+        assert!(t0.elapsed() >= Duration::from_millis(2));
+        drop(rec);
+        let trace = tracer.finish();
+        let evs = trace.events();
+        assert_eq!(evs.len(), 2);
+        assert!(evs[1].ns - evs[0].ns >= 2_000_000);
+    }
+}

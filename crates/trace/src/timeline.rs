@@ -1,0 +1,476 @@
+//! Timeline reconstruction and analysis — the machinery behind the
+//! paper's Figures 10 and 11.
+//!
+//! Figure 10's view "displays running tasks (in red), specific runtime
+//! subsystems such as task creation (in cyan), or other generic runtime
+//! parts (in deep blue) along time (X axis) for a number of cores
+//! (Y axis)"; starving cores are khaki and DTLock serves are yellow
+//! arrows. This module rebuilds exactly those per-core state intervals
+//! from a [`Trace`] and renders them as ASCII art, plus the aggregate
+//! statistics (starvation fraction, serve counts/bursts) used to compare
+//! the PTLock and DTLock schedulers quantitatively.
+
+use crate::event::EventKind;
+use crate::Trace;
+use serde::{Deserialize, Serialize};
+
+/// What a core was doing during an interval. Maps 1:1 onto the colour
+/// legend of Figure 10/11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreState {
+    /// Executing a task body (red).
+    Running,
+    /// Creating child tasks (cyan).
+    Creating,
+    /// Inside the scheduler (deep blue).
+    Scheduler,
+    /// Starving: asked for work and found none (khaki).
+    Idle,
+    /// Stalled by a (synthetic) kernel interrupt (purple).
+    Interrupted,
+    /// Blocked in a taskwait.
+    Taskwait,
+    /// Anything else (runtime glue).
+    Other,
+}
+
+impl CoreState {
+    /// One-character glyph used by the ASCII rendering.
+    pub fn glyph(self) -> char {
+        match self {
+            CoreState::Running => 'R',
+            CoreState::Creating => 'C',
+            CoreState::Scheduler => 's',
+            CoreState::Idle => '.',
+            CoreState::Interrupted => '!',
+            CoreState::Taskwait => 'w',
+            CoreState::Other => ' ',
+        }
+    }
+}
+
+/// A maximal interval of one core in one state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Start, ns since trace epoch.
+    pub start: u64,
+    /// End, ns since trace epoch.
+    pub end: u64,
+    /// State during the interval.
+    pub state: CoreState,
+}
+
+impl Interval {
+    /// Interval length in ns.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if the interval is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Aggregate statistics for one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// ns spent in each state.
+    pub running_ns: u64,
+    /// ns spent creating tasks.
+    pub creating_ns: u64,
+    /// ns spent inside the scheduler.
+    pub scheduler_ns: u64,
+    /// ns starving.
+    pub idle_ns: u64,
+    /// ns stalled by interrupts.
+    pub interrupted_ns: u64,
+    /// ns blocked in taskwait.
+    pub taskwait_ns: u64,
+    /// Number of task bodies executed.
+    pub tasks_run: u64,
+}
+
+impl CoreStats {
+    /// ns accounted to any known state.
+    pub fn accounted_ns(&self) -> u64 {
+        self.running_ns
+            + self.creating_ns
+            + self.scheduler_ns
+            + self.idle_ns
+            + self.interrupted_ns
+            + self.taskwait_ns
+    }
+
+    /// Fraction of accounted time spent running tasks.
+    pub fn utilisation(&self) -> f64 {
+        let total = self.accounted_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.running_ns as f64 / total as f64
+        }
+    }
+
+    /// Fraction of accounted time spent starving.
+    pub fn starvation(&self) -> f64 {
+        let total = self.accounted_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.idle_ns as f64 / total as f64
+        }
+    }
+}
+
+/// Whole-trace analysis result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Timeline {
+    ncores: u16,
+    span: (u64, u64),
+    intervals: Vec<Vec<Interval>>,
+    per_core: Vec<CoreStats>,
+    serves: Vec<(u64, u64)>,
+    drains: Vec<(u64, u64)>,
+}
+
+impl Timeline {
+    /// Reconstruct per-core intervals from a trace.
+    pub fn build(trace: &Trace) -> Self {
+        let ncores = trace.ncores().max(
+            trace
+                .events()
+                .iter()
+                .map(|e| e.core + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        let start = trace.events().first().map(|e| e.ns).unwrap_or(0);
+        let end = trace.events().last().map(|e| e.ns).unwrap_or(0);
+        let mut intervals: Vec<Vec<Interval>> = vec![Vec::new(); ncores as usize];
+        let mut per_core: Vec<CoreStats> = vec![CoreStats::default(); ncores as usize];
+        let mut serves = Vec::new();
+        let mut drains = Vec::new();
+        // Per-core state machine: (state, since).
+        let mut cur: Vec<(CoreState, u64)> = vec![(CoreState::Other, start); ncores as usize];
+
+        let switch = |core: usize,
+                          now: u64,
+                          next: CoreState,
+                          intervals: &mut Vec<Vec<Interval>>,
+                          per_core: &mut Vec<CoreStats>,
+                          cur: &mut Vec<(CoreState, u64)>| {
+            let (state, since) = cur[core];
+            if now > since && state != CoreState::Other {
+                intervals[core].push(Interval {
+                    start: since,
+                    end: now,
+                    state,
+                });
+                let len = now - since;
+                let s = &mut per_core[core];
+                match state {
+                    CoreState::Running => s.running_ns += len,
+                    CoreState::Creating => s.creating_ns += len,
+                    CoreState::Scheduler => s.scheduler_ns += len,
+                    CoreState::Idle => s.idle_ns += len,
+                    CoreState::Interrupted => s.interrupted_ns += len,
+                    CoreState::Taskwait => s.taskwait_ns += len,
+                    CoreState::Other => {}
+                }
+            }
+            cur[core] = (next, now);
+        };
+
+        for e in trace.events() {
+            let core = e.core as usize;
+            match e.kind {
+                EventKind::TaskStart => {
+                    per_core[core].tasks_run += 1;
+                    switch(core, e.ns, CoreState::Running, &mut intervals, &mut per_core, &mut cur);
+                }
+                EventKind::TaskEnd => {
+                    switch(core, e.ns, CoreState::Other, &mut intervals, &mut per_core, &mut cur)
+                }
+                EventKind::CreateBegin => {
+                    switch(core, e.ns, CoreState::Creating, &mut intervals, &mut per_core, &mut cur)
+                }
+                EventKind::CreateEnd => {
+                    // Creation happens inside a running task body: fall back
+                    // to Running rather than Other.
+                    switch(core, e.ns, CoreState::Running, &mut intervals, &mut per_core, &mut cur)
+                }
+                EventKind::SchedEnter => {
+                    switch(core, e.ns, CoreState::Scheduler, &mut intervals, &mut per_core, &mut cur)
+                }
+                EventKind::SchedExit => {
+                    switch(core, e.ns, CoreState::Other, &mut intervals, &mut per_core, &mut cur)
+                }
+                EventKind::IdleBegin => {
+                    switch(core, e.ns, CoreState::Idle, &mut intervals, &mut per_core, &mut cur)
+                }
+                EventKind::IdleEnd => {
+                    switch(core, e.ns, CoreState::Other, &mut intervals, &mut per_core, &mut cur)
+                }
+                EventKind::KernelInterruptBegin => switch(
+                    core,
+                    e.ns,
+                    CoreState::Interrupted,
+                    &mut intervals,
+                    &mut per_core,
+                    &mut cur,
+                ),
+                EventKind::KernelInterruptEnd => {
+                    switch(core, e.ns, CoreState::Other, &mut intervals, &mut per_core, &mut cur)
+                }
+                EventKind::TaskwaitBegin => {
+                    switch(core, e.ns, CoreState::Taskwait, &mut intervals, &mut per_core, &mut cur)
+                }
+                EventKind::TaskwaitEnd => {
+                    switch(core, e.ns, CoreState::Running, &mut intervals, &mut per_core, &mut cur)
+                }
+                EventKind::SchedServe => serves.push((e.ns, e.payload)),
+                EventKind::SchedDrain => drains.push((e.ns, e.payload)),
+                EventKind::AddReady
+                | EventKind::DepRegister
+                | EventKind::DepRelease
+                | EventKind::UserMarker => {}
+            }
+        }
+        // Close any open interval at the trace end.
+        for core in 0..ncores as usize {
+            let state = cur[core].0;
+            switch(core, end, state, &mut intervals, &mut per_core, &mut cur);
+        }
+        Self {
+            ncores,
+            span: (start, end),
+            intervals,
+            per_core,
+            serves,
+            drains,
+        }
+    }
+
+    /// Number of cores.
+    pub fn ncores(&self) -> u16 {
+        self.ncores
+    }
+
+    /// (start, end) of the trace, ns.
+    pub fn span(&self) -> (u64, u64) {
+        self.span
+    }
+
+    /// Intervals of one core.
+    pub fn core_intervals(&self, core: u16) -> &[Interval] {
+        &self.intervals[core as usize]
+    }
+
+    /// Statistics of one core.
+    pub fn core_stats(&self, core: u16) -> &CoreStats {
+        &self.per_core[core as usize]
+    }
+
+    /// Sum of the per-core statistics.
+    pub fn total_stats(&self) -> CoreStats {
+        let mut t = CoreStats::default();
+        for s in &self.per_core {
+            t.running_ns += s.running_ns;
+            t.creating_ns += s.creating_ns;
+            t.scheduler_ns += s.scheduler_ns;
+            t.idle_ns += s.idle_ns;
+            t.interrupted_ns += s.interrupted_ns;
+            t.taskwait_ns += s.taskwait_ns;
+            t.tasks_run += s.tasks_run;
+        }
+        t
+    }
+
+    /// All DTLock serve events `(ns, served_worker)` — the yellow arrows.
+    pub fn serves(&self) -> &[(u64, u64)] {
+        &self.serves
+    }
+
+    /// All SPSC drain events `(ns, ntasks)` — green in Figure 10.
+    pub fn drains(&self) -> &[(u64, u64)] {
+        &self.drains
+    }
+
+    /// Histogram of serve events over `bins` equal time windows: the
+    /// "yellow lines pattern" Figure 11 reads (irregular before the
+    /// interrupt, regular after).
+    pub fn serve_histogram(&self, bins: usize) -> Vec<u64> {
+        let mut hist = vec![0u64; bins.max(1)];
+        let (s, e) = self.span;
+        let width = (e - s).max(1);
+        for &(ns, _) in &self.serves {
+            let idx = ((ns - s) as u128 * bins as u128 / width as u128) as usize;
+            hist[idx.min(bins - 1)] += 1;
+        }
+        hist
+    }
+
+    /// Render the timeline as ASCII art: one row per core, `width`
+    /// columns, glyph = dominant state in each time bin. Legend:
+    /// `R` running, `C` creating, `s` scheduler, `.` starving,
+    /// `!` interrupted, `w` taskwait.
+    #[allow(clippy::needless_range_loop)] // bin index is used for time math
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.max(1);
+        let (s, e) = self.span;
+        let span = (e - s).max(1);
+        let mut out = String::new();
+        for core in 0..self.ncores as usize {
+            let mut dominant = vec![(CoreState::Other, 0u64); width];
+            for iv in &self.intervals[core] {
+                let b0 = ((iv.start - s) as u128 * width as u128 / span as u128) as usize;
+                let b1 = ((iv.end - s) as u128 * width as u128 / span as u128) as usize;
+                for b in b0..=b1.min(width - 1) {
+                    // Bin boundaries in ns:
+                    let bin_start = s + (b as u64 * span) / width as u64;
+                    let bin_end = s + ((b + 1) as u64 * span) / width as u64;
+                    let overlap = iv.end.min(bin_end).saturating_sub(iv.start.max(bin_start));
+                    if overlap > dominant[b].1 {
+                        dominant[b] = (iv.state, overlap);
+                    }
+                }
+            }
+            out.push_str(&format!("core {core:>3} |"));
+            for (state, _) in dominant {
+                out.push(state.glyph());
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ev(ns: u64, core: u16, kind: EventKind, payload: u64) -> Event {
+        Event {
+            ns,
+            payload,
+            core,
+            kind,
+        }
+    }
+
+    fn simple_trace() -> Trace {
+        Trace::from_events(
+            2,
+            vec![
+                ev(0, 0, EventKind::TaskStart, 1),
+                ev(100, 0, EventKind::TaskEnd, 1),
+                ev(100, 0, EventKind::IdleBegin, 0),
+                ev(200, 0, EventKind::IdleEnd, 0),
+                ev(0, 1, EventKind::SchedEnter, 1),
+                ev(50, 1, EventKind::SchedServe, 0),
+                ev(60, 1, EventKind::SchedDrain, 4),
+                ev(80, 1, EventKind::SchedExit, 1),
+                ev(80, 1, EventKind::TaskStart, 2),
+                ev(200, 1, EventKind::TaskEnd, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn per_core_accounting() {
+        let tl = Timeline::build(&simple_trace());
+        let c0 = tl.core_stats(0);
+        assert_eq!(c0.running_ns, 100);
+        assert_eq!(c0.idle_ns, 100);
+        assert_eq!(c0.tasks_run, 1);
+        let c1 = tl.core_stats(1);
+        assert_eq!(c1.scheduler_ns, 80);
+        assert_eq!(c1.running_ns, 120);
+        assert_eq!(c1.tasks_run, 1);
+    }
+
+    #[test]
+    fn serves_and_drains_collected() {
+        let tl = Timeline::build(&simple_trace());
+        assert_eq!(tl.serves(), &[(50, 0)]);
+        assert_eq!(tl.drains(), &[(60, 4)]);
+    }
+
+    #[test]
+    fn utilisation_and_starvation_fractions() {
+        let tl = Timeline::build(&simple_trace());
+        let c0 = tl.core_stats(0);
+        assert!((c0.utilisation() - 0.5).abs() < 1e-9);
+        assert!((c0.starvation() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_stats_sums_cores() {
+        let tl = Timeline::build(&simple_trace());
+        let t = tl.total_stats();
+        assert_eq!(t.tasks_run, 2);
+        assert_eq!(t.running_ns, 220);
+    }
+
+    #[test]
+    fn serve_histogram_bins() {
+        let tl = Timeline::build(&simple_trace());
+        let h = tl.serve_histogram(4);
+        assert_eq!(h.iter().sum::<u64>(), 1);
+        // Serve at t=50 of span [0,200] lands in bin 1 of 4.
+        assert_eq!(h[1], 1);
+    }
+
+    #[test]
+    fn ascii_rendering_has_one_row_per_core() {
+        let tl = Timeline::build(&simple_trace());
+        let art = tl.render_ascii(40);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('R'));
+        assert!(lines[0].contains('.'));
+        assert!(lines[1].contains('s'));
+    }
+
+    #[test]
+    fn empty_trace_builds() {
+        let tl = Timeline::build(&Trace::from_events(1, vec![]));
+        assert_eq!(tl.total_stats(), CoreStats::default());
+        let art = tl.render_ascii(10);
+        assert_eq!(art.lines().count(), 1);
+    }
+
+    #[test]
+    fn interrupt_intervals_tracked() {
+        let t = Trace::from_events(
+            1,
+            vec![
+                ev(0, 0, EventKind::TaskStart, 1),
+                ev(10, 0, EventKind::KernelInterruptBegin, 0),
+                ev(60, 0, EventKind::KernelInterruptEnd, 0),
+                ev(100, 0, EventKind::TaskEnd, 1),
+            ],
+        );
+        let tl = Timeline::build(&t);
+        assert_eq!(tl.core_stats(0).interrupted_ns, 50);
+    }
+
+    #[test]
+    fn interval_len_and_empty() {
+        let iv = Interval {
+            start: 5,
+            end: 15,
+            state: CoreState::Running,
+        };
+        assert_eq!(iv.len(), 10);
+        assert!(!iv.is_empty());
+        let z = Interval {
+            start: 5,
+            end: 5,
+            state: CoreState::Idle,
+        };
+        assert!(z.is_empty());
+    }
+}

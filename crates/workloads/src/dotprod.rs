@@ -1,0 +1,135 @@
+//! Dot product — §6.1 benchmark (1): "a Dot product between two arrays
+//! that uses a task reduction to aggregate the results from each block".
+//!
+//! The extreme fine-granularity stress: each task is a short loop and a
+//! reduction-slot accumulation, so at small block sizes the runtime
+//! overhead (allocation + registration + scheduling) dominates — this is
+//! the benchmark where the paper's optimizations show the largest effect
+//! (Figure 4, top right).
+
+use nanotask_core::{Deps, RedOp, Runtime, SendPtr};
+
+use crate::kernels::{dot_block, hash_f64};
+use crate::Workload;
+
+/// Blocked dot product with a task reduction.
+pub struct DotProduct {
+    n: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    result: Box<f64>,
+    expected: f64,
+}
+
+impl DotProduct {
+    /// `scale` multiplies the element count (scale 1 ≈ 16Ki elements).
+    pub fn new(scale: usize) -> Self {
+        let n = 1 << (14 + scale.saturating_sub(1).min(10));
+        let a: Vec<f64> = (0..n).map(hash_f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| hash_f64(i + n)).collect();
+        let expected = dot_block(&a, &b);
+        Self {
+            n,
+            a,
+            b,
+            result: Box::new(0.0),
+            expected,
+        }
+    }
+}
+
+impl Workload for DotProduct {
+    fn name(&self) -> &'static str {
+        "DotProduct"
+    }
+
+    fn block_sizes(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut bs = 64;
+        while bs <= self.n {
+            v.push(bs);
+            bs *= 4;
+        }
+        v
+    }
+
+    fn run(&mut self, rt: &Runtime, bs: usize) -> u64 {
+        let bs = bs.clamp(1, self.n);
+        *self.result = 0.0;
+        let a = SendPtr::new(self.a.as_mut_ptr());
+        let b = SendPtr::new(self.b.as_mut_ptr());
+        let res = SendPtr::new(&mut *self.result as *mut f64);
+        let n = self.n;
+        rt.run(move |ctx| {
+            let mut off = 0;
+            while off < n {
+                let len = bs.min(n - off);
+                let (ab, bb) = unsafe { (a.add(off), b.add(off)) };
+                ctx.spawn_labeled(
+                    "dot",
+                    Deps::new()
+                        .read_addr(ab.addr())
+                        .read_addr(bb.addr())
+                        .reduce_addr(res.addr(), 8, RedOp::SumF64),
+                    move |c| unsafe {
+                        let pa = core::slice::from_raw_parts(ab.get(), len);
+                        let pb = core::slice::from_raw_parts(bb.get(), len);
+                        let partial = dot_block(pa, pb);
+                        let slot = c.red_slot(&*(res.addr() as *const f64));
+                        *slot += partial;
+                    },
+                );
+                off += len;
+            }
+        });
+        2 * self.n as u64
+    }
+
+    fn ops_per_task(&self, bs: usize) -> u64 {
+        2 * bs as u64
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        let got = *self.result;
+        let want = self.expected;
+        if (got - want).abs() <= 1e-6 * want.abs().max(1.0) {
+            Ok(())
+        } else {
+            Err(format!("dot product {got} != expected {want}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanotask_core::RuntimeConfig;
+
+    #[test]
+    fn correct_at_multiple_granularities() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3));
+        let mut w = DotProduct::new(1);
+        for bs in w.block_sizes() {
+            w.run(&rt, bs);
+            w.verify().unwrap_or_else(|e| panic!("bs={bs}: {e}"));
+        }
+    }
+
+    #[test]
+    fn correct_on_every_ablation() {
+        for cfg in RuntimeConfig::ablations() {
+            let label = cfg.label;
+            let rt = Runtime::new(cfg.workers(2));
+            let mut w = DotProduct::new(1);
+            w.run(&rt, 256);
+            w.verify().unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn ops_per_task_scales_with_block() {
+        let w = DotProduct::new(1);
+        assert_eq!(w.ops_per_task(128), 256);
+        assert!(w.ops_per_task(1024) > w.ops_per_task(128));
+    }
+}

@@ -1,0 +1,234 @@
+//! LULESH proxy — §6.1 benchmark (4): "a taskified version of
+//! Lulesh 2.0".
+//!
+//! LULESH is a Lagrangian shock-hydrodynamics proxy app; per timestep it
+//! alternates element-centred and node-centred phases over an
+//! unstructured mesh, with neighbour-coupled updates and a global
+//! minimum reduction for the adaptive timestep. This proxy keeps exactly
+//! that task structure on a blocked 1-D mesh:
+//!
+//! * phase 1 (`stress`): per element block, from node positions;
+//! * phase 2 (`force`): per node block, reading the *neighbouring*
+//!   element blocks (multi-dependencies);
+//! * phase 3 (`advance`): per node block, integrating positions and
+//!   feeding a **min-reduction** of the per-block stable timestep —
+//!   LULESH's `dtcourant` (`RedOp::MinF64`).
+
+use nanotask_core::{Deps, RedOp, Runtime, SendPtr};
+
+use crate::kernels::hash_f64;
+use crate::Workload;
+
+const DT0: f64 = 1e-3;
+
+/// Blocked LULESH-style multi-phase proxy.
+pub struct Lulesh {
+    n: usize,
+    steps: usize,
+    pos: Vec<f64>,
+    stress: Vec<f64>,
+    force: Vec<f64>,
+    dt: Box<f64>,
+    expected_pos: Vec<f64>,
+    expected_dt: f64,
+}
+
+impl Lulesh {
+    /// `scale` multiplies the mesh size (scale 1 ≈ 4096 nodes).
+    pub fn new(scale: usize) -> Self {
+        let n = 4096 * scale.clamp(1, 64);
+        let steps = 2;
+        let pos = Self::initial(n);
+        let (expected_pos, expected_dt) = Self::serial(&pos, n, steps);
+        Self {
+            n,
+            steps,
+            pos,
+            stress: vec![0.0; n],
+            force: vec![0.0; n],
+            dt: Box::new(f64::INFINITY),
+            expected_pos,
+            expected_dt,
+        }
+    }
+
+    fn initial(n: usize) -> Vec<f64> {
+        (0..n).map(|i| hash_f64(i) + i as f64).collect()
+    }
+
+    fn stress_of(p: f64) -> f64 {
+        0.5 * p.sin() + 1.0
+    }
+
+    fn force_of(left: f64, mid: f64, right: f64) -> f64 {
+        0.25 * (left - 2.0 * mid + right)
+    }
+
+    fn serial(pos0: &[f64], n: usize, steps: usize) -> (Vec<f64>, f64) {
+        let mut pos = pos0.to_vec();
+        let mut stress = vec![0.0; n];
+        let mut force = vec![0.0; n];
+        let mut dt = f64::INFINITY;
+        for _ in 0..steps {
+            for i in 0..n {
+                stress[i] = Self::stress_of(pos[i]);
+            }
+            for i in 0..n {
+                let l = if i > 0 { stress[i - 1] } else { stress[i] };
+                let r = if i + 1 < n { stress[i + 1] } else { stress[i] };
+                force[i] = Self::force_of(l, stress[i], r);
+            }
+            for i in 0..n {
+                pos[i] += DT0 * force[i];
+                let local_dt = 1.0 / (force[i].abs() + 1e-3);
+                if local_dt < dt {
+                    dt = local_dt;
+                }
+            }
+        }
+        (pos, dt)
+    }
+}
+
+impl Workload for Lulesh {
+    fn name(&self) -> &'static str {
+        "Lulesh"
+    }
+
+    fn block_sizes(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut bs = 64;
+        while bs <= self.n {
+            v.push(bs);
+            bs *= 4;
+        }
+        v
+    }
+
+    fn run(&mut self, rt: &Runtime, bs: usize) -> u64 {
+        let bs = bs.clamp(1, self.n);
+        assert_eq!(self.n % bs, 0);
+        self.pos = Self::initial(self.n);
+        *self.dt = f64::INFINITY;
+        let n = self.n;
+        let nb = n / bs;
+        let steps = self.steps;
+        let pos = SendPtr::new(self.pos.as_mut_ptr());
+        let str_ = SendPtr::new(self.stress.as_mut_ptr());
+        let frc = SendPtr::new(self.force.as_mut_ptr());
+        let dt = SendPtr::new(&mut *self.dt as *mut f64);
+        rt.run(move |ctx| {
+            let blk = |base: SendPtr<f64>, b: usize| unsafe { base.add(b * bs) };
+            for _ in 0..steps {
+                // Phase 1: stress from positions (element-centred).
+                for b in 0..nb {
+                    let (p, s) = (blk(pos, b), blk(str_, b));
+                    ctx.spawn_labeled(
+                        "stress",
+                        Deps::new().read_addr(p.addr()).write_addr(s.addr()),
+                        move |_| unsafe {
+                            for k in 0..bs {
+                                *s.get().add(k) = Self::stress_of(*p.get().add(k));
+                            }
+                        },
+                    );
+                }
+                // Phase 2: forces from neighbouring stress blocks.
+                for b in 0..nb {
+                    let f = blk(frc, b);
+                    let mut deps = Deps::new()
+                        .write_addr(f.addr())
+                        .read_addr(blk(str_, b).addr());
+                    if b > 0 {
+                        deps = deps.read_addr(blk(str_, b - 1).addr());
+                    }
+                    if b + 1 < nb {
+                        deps = deps.read_addr(blk(str_, b + 1).addr());
+                    }
+                    ctx.spawn_labeled("force", deps, move |_| unsafe {
+                        let sall = core::slice::from_raw_parts(str_.get(), n);
+                        for k in 0..bs {
+                            let i = b * bs + k;
+                            let l = if i > 0 { sall[i - 1] } else { sall[i] };
+                            let r = if i + 1 < n { sall[i + 1] } else { sall[i] };
+                            *f.get().add(k) = Self::force_of(l, sall[i], r);
+                        }
+                    });
+                }
+                // Phase 3: advance + min-reduce the stable timestep.
+                for b in 0..nb {
+                    let (p, f) = (blk(pos, b), blk(frc, b));
+                    ctx.spawn_labeled(
+                        "advance",
+                        Deps::new()
+                            .readwrite_addr(p.addr())
+                            .read_addr(f.addr())
+                            .reduce_addr(dt.addr(), 8, RedOp::MinF64),
+                        move |c| unsafe {
+                            let slot = c.red_slot(&*(dt.addr() as *const f64));
+                            for k in 0..bs {
+                                let fv = *f.get().add(k);
+                                *p.get().add(k) += DT0 * fv;
+                                let local = 1.0 / (fv.abs() + 1e-3);
+                                if local < *slot {
+                                    *slot = local;
+                                }
+                            }
+                        },
+                    );
+                }
+            }
+        });
+        (12 * self.n * self.steps) as u64
+    }
+
+    fn ops_per_task(&self, bs: usize) -> u64 {
+        12 * bs as u64
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        for (i, (got, want)) in self.pos.iter().zip(&self.expected_pos).enumerate() {
+            if (got - want).abs() > 1e-9 * want.abs().max(1.0) {
+                return Err(format!("pos[{i}] = {got}, expected {want}"));
+            }
+        }
+        let (got, want) = (*self.dt, self.expected_dt);
+        if (got - want).abs() > 1e-12 {
+            return Err(format!("dt {got} != expected {want}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanotask_core::RuntimeConfig;
+
+    #[test]
+    fn matches_serial_reference() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3));
+        let mut w = Lulesh::new(1);
+        for bs in [64, 256, 1024, 4096] {
+            w.run(&rt, bs);
+            w.verify().unwrap_or_else(|e| panic!("bs={bs}: {e}"));
+        }
+    }
+
+    #[test]
+    fn min_reduction_produces_finite_dt() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+        let mut w = Lulesh::new(1);
+        w.run(&rt, 256);
+        assert!(w.dt.is_finite());
+        assert!(*w.dt > 0.0);
+    }
+
+    #[test]
+    fn correct_without_jemalloc() {
+        let rt = Runtime::new(RuntimeConfig::without_jemalloc().workers(2));
+        let mut w = Lulesh::new(1);
+        w.run(&rt, 1024);
+        w.verify().unwrap();
+    }
+}

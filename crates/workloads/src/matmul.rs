@@ -1,0 +1,203 @@
+//! Blocked matrix multiplication — §6.1 benchmark (6): "a classic
+//! parallel blocked Matmul".
+//!
+//! Tiled layout (block-major storage) so each tile has one representative
+//! address for the dependency system; the task graph is the classic
+//! `inout(C[i][j]) in(A[i][k], B[k][j])` three-deep loop nest, giving
+//! per-C-tile chains that expose both parallelism (across tiles) and
+//! dependencies (along k).
+
+use nanotask_core::{Deps, Runtime, SendPtr};
+
+use crate::kernels::{gemm_block, hash_f64};
+use crate::Workload;
+
+/// Blocked `C = A·B` on tiled square matrices.
+pub struct Matmul {
+    n: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+    expected: Vec<f64>,
+    last_bs: usize,
+}
+
+impl Matmul {
+    /// `scale` multiplies the matrix dimension (scale 1 ≈ 64×64).
+    pub fn new(scale: usize) -> Self {
+        let n = 64 * scale.clamp(1, 16);
+        let a: Vec<f64> = (0..n * n).map(hash_f64).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| hash_f64(i + n * n)).collect();
+        // Serial row-major reference.
+        let mut expected = vec![0.0; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let aik = a[i * n + k];
+                for j in 0..n {
+                    expected[i * n + j] += aik * b[k * n + j];
+                }
+            }
+        }
+        Self {
+            n,
+            a,
+            b,
+            c: vec![0.0; n * n],
+            expected,
+            last_bs: 0,
+        }
+    }
+
+    /// Copy a row-major matrix into block-major tiles of size `bs`.
+    fn tile(src: &[f64], n: usize, bs: usize) -> Vec<f64> {
+        let nb = n / bs;
+        let mut out = vec![0.0; n * n];
+        for bi in 0..nb {
+            for bj in 0..nb {
+                let base = (bi * nb + bj) * bs * bs;
+                for r in 0..bs {
+                    for cidx in 0..bs {
+                        out[base + r * bs + cidx] = src[(bi * bs + r) * n + bj * bs + cidx];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Copy block-major tiles back to row-major.
+    fn untile(src: &[f64], n: usize, bs: usize) -> Vec<f64> {
+        let nb = n / bs;
+        let mut out = vec![0.0; n * n];
+        for bi in 0..nb {
+            for bj in 0..nb {
+                let base = (bi * nb + bj) * bs * bs;
+                for r in 0..bs {
+                    for cidx in 0..bs {
+                        out[(bi * bs + r) * n + bj * bs + cidx] = src[base + r * bs + cidx];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Workload for Matmul {
+    fn name(&self) -> &'static str {
+        "Matmul"
+    }
+
+    fn block_sizes(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut bs = 8;
+        while bs <= self.n {
+            v.push(bs);
+            bs *= 2;
+        }
+        v
+    }
+
+    fn run(&mut self, rt: &Runtime, bs: usize) -> u64 {
+        let bs = bs.clamp(1, self.n);
+        assert_eq!(self.n % bs, 0, "block size must divide n");
+        let n = self.n;
+        let nb = n / bs;
+        let ta = Self::tile(&self.a, n, bs);
+        let tb = Self::tile(&self.b, n, bs);
+        let mut tc = vec![0.0; n * n];
+        {
+            let pa = SendPtr::new(ta.as_ptr() as *mut f64);
+            let pb = SendPtr::new(tb.as_ptr() as *mut f64);
+            let pc = SendPtr::new(tc.as_mut_ptr());
+            rt.run(move |ctx| {
+                let tile = bs * bs;
+                for bi in 0..nb {
+                    for bj in 0..nb {
+                        for bk in 0..nb {
+                            let (ca, cb, cc) = unsafe {
+                                (
+                                    pa.add((bi * nb + bk) * tile),
+                                    pb.add((bk * nb + bj) * tile),
+                                    pc.add((bi * nb + bj) * tile),
+                                )
+                            };
+                            ctx.spawn_labeled(
+                                "gemm",
+                                Deps::new()
+                                    .read_addr(ca.addr())
+                                    .read_addr(cb.addr())
+                                    .readwrite_addr(cc.addr()),
+                                move |_| unsafe {
+                                    let a = core::slice::from_raw_parts(ca.get(), tile);
+                                    let b = core::slice::from_raw_parts(cb.get(), tile);
+                                    let c = core::slice::from_raw_parts_mut(cc.get(), tile);
+                                    gemm_block(c, a, b, bs);
+                                },
+                            );
+                        }
+                    }
+                }
+            });
+        }
+        self.c = Self::untile(&tc, n, bs);
+        self.last_bs = bs;
+        2 * (n as u64).pow(3)
+    }
+
+    fn ops_per_task(&self, bs: usize) -> u64 {
+        2 * (bs as u64).pow(3)
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        for (i, (got, want)) in self.c.iter().zip(&self.expected).enumerate() {
+            if (got - want).abs() > 1e-6 * want.abs().max(1.0) {
+                return Err(format!(
+                    "C[{i}] = {got}, expected {want} (bs {})",
+                    self.last_bs
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanotask_core::RuntimeConfig;
+
+    #[test]
+    fn tile_untile_roundtrip() {
+        let n = 8;
+        let m: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+        for bs in [2, 4, 8] {
+            let t = Matmul::tile(&m, n, bs);
+            assert_eq!(Matmul::untile(&t, n, bs), m, "bs={bs}");
+        }
+    }
+
+    #[test]
+    fn correct_at_multiple_granularities() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3));
+        let mut w = Matmul::new(1);
+        for bs in [8, 16, 64] {
+            w.run(&rt, bs);
+            w.verify().unwrap_or_else(|e| panic!("bs={bs}: {e}"));
+        }
+    }
+
+    #[test]
+    fn correct_on_locking_deps_and_worksteal() {
+        for cfg in [
+            RuntimeConfig::without_waitfree_deps(),
+            RuntimeConfig::openmp_llvm_like(),
+        ] {
+            let label = cfg.label;
+            let rt = Runtime::new(cfg.workers(2));
+            let mut w = Matmul::new(1);
+            w.run(&rt, 16);
+            w.verify().unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+}

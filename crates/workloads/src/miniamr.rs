@@ -1,0 +1,221 @@
+//! miniAMR proxy — §6.1 benchmark (5): "a taskified miniAMR that mimics
+//! the different patterns of Adaptive Mesh Refinement applications".
+//!
+//! miniAMR's defining runtime behaviour (and why the paper uses it for
+//! the Figure 10/11 trace studies) is *irregularity*: the set of mesh
+//! blocks — and therefore the number and size of tasks — changes every
+//! refinement phase, and a single creator thread must push bursts of
+//! fine-grained tasks. This proxy reproduces that: a population of
+//! blocks evolves through deterministic refine/coarsen cycles; each
+//! phase runs one stencil task per *active* block (inout on the block,
+//! in on its ring neighbours) plus a checksum reduction.
+
+use nanotask_core::{Deps, RedOp, Runtime, SendPtr};
+
+use crate::kernels::hash_f64;
+use crate::Workload;
+
+/// Maximum refinement level of the proxy.
+const MAX_LEVEL: u8 = 2;
+
+/// Blocked AMR-style proxy with phase-varying task population.
+pub struct MiniAmr {
+    base_blocks: usize,
+    phases: usize,
+    /// Backing storage: every possible block slot, each `max_bs` cells.
+    storage: Vec<f64>,
+    max_bs: usize,
+    checksum: Box<f64>,
+    last_bs: usize,
+}
+
+/// Cells a block works on at `level` (refined blocks are smaller but
+/// more expensive per cell — net effect: more, finer tasks).
+fn cells_at(bs: usize, level: u8) -> usize {
+    (bs >> level).max(8)
+}
+
+/// Deterministic refinement level of block `b` during `phase` — mimics a
+/// moving refinement front.
+fn level_of(b: usize, phase: usize, nblocks: usize) -> u8 {
+    let front = (phase * nblocks) / 4 % nblocks;
+    let dist = (b + nblocks - front) % nblocks;
+    if dist < nblocks / 8 + 1 {
+        MAX_LEVEL
+    } else if dist < nblocks / 4 + 1 {
+        1
+    } else {
+        0
+    }
+}
+
+impl MiniAmr {
+    /// `scale` multiplies block count and block size.
+    pub fn new(scale: usize) -> Self {
+        let base_blocks = 16 * scale.clamp(1, 16);
+        let phases = 4;
+        let max_bs = 256 * scale.clamp(1, 16);
+        let storage: Vec<f64> = (0..base_blocks * max_bs).map(hash_f64).collect();
+        Self {
+            base_blocks,
+            phases,
+            storage,
+            max_bs,
+            checksum: Box::new(0.0),
+            last_bs: 0,
+        }
+    }
+
+    fn smooth(block: &mut [f64], level: u8) -> f64 {
+        let mut sum = 0.0;
+        let reps = 1 + level as usize;
+        for _ in 0..reps {
+            for i in 1..block.len() - 1 {
+                block[i] = 0.5 * block[i] + 0.25 * (block[i - 1] + block[i + 1]);
+            }
+        }
+        for v in block.iter() {
+            sum += *v;
+        }
+        sum
+    }
+
+    /// Serial reference for a given block size, from the initial state.
+    fn serial(&self, bs: usize) -> (Vec<f64>, f64) {
+        let mut st: Vec<f64> = (0..self.base_blocks * self.max_bs).map(hash_f64).collect();
+        let mut checksum = 0.0;
+        for phase in 0..self.phases {
+            for b in 0..self.base_blocks {
+                let level = level_of(b, phase, self.base_blocks);
+                let cells = cells_at(bs, level);
+                let blk = &mut st[b * self.max_bs..b * self.max_bs + cells];
+                checksum += Self::smooth(blk, level);
+            }
+        }
+        (st, checksum)
+    }
+}
+
+impl Workload for MiniAmr {
+    fn name(&self) -> &'static str {
+        "miniAMR"
+    }
+
+    fn block_sizes(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut bs = 32;
+        while bs <= self.max_bs {
+            v.push(bs);
+            bs *= 2;
+        }
+        v
+    }
+
+    fn run(&mut self, rt: &Runtime, bs: usize) -> u64 {
+        let bs = bs.clamp(8, self.max_bs);
+        // Reset storage.
+        self.storage = (0..self.base_blocks * self.max_bs).map(hash_f64).collect();
+        *self.checksum = 0.0;
+        self.last_bs = bs;
+        let nblocks = self.base_blocks;
+        let phases = self.phases;
+        let max_bs = self.max_bs;
+        let st = SendPtr::new(self.storage.as_mut_ptr());
+        let ck = SendPtr::new(&mut *self.checksum as *mut f64);
+        rt.run(move |ctx| {
+            for phase in 0..phases {
+                for b in 0..nblocks {
+                    let level = level_of(b, phase, nblocks);
+                    let cells = cells_at(bs, level);
+                    let blk = unsafe { st.add(b * max_bs) };
+                    // Ring-neighbour reads: the AMR halo exchange.
+                    let left = unsafe { st.add(((b + nblocks - 1) % nblocks) * max_bs) };
+                    let right = unsafe { st.add(((b + 1) % nblocks) * max_bs) };
+                    let mut deps = Deps::new()
+                        .readwrite_addr(blk.addr())
+                        .reduce_addr(ck.addr(), 8, RedOp::SumF64);
+                    if left.addr() != blk.addr() {
+                        deps = deps.read_addr(left.addr());
+                    }
+                    if right.addr() != blk.addr() && right.addr() != left.addr() {
+                        deps = deps.read_addr(right.addr());
+                    }
+                    ctx.spawn_labeled("amr_smooth", deps, move |c| unsafe {
+                        let block = core::slice::from_raw_parts_mut(blk.get(), cells);
+                        let s = MiniAmr::smooth(block, level);
+                        *c.red_slot(&*(ck.addr() as *const f64)) += s;
+                    });
+                }
+            }
+        });
+        (self.phases * nblocks * bs * 4) as u64
+    }
+
+    fn ops_per_task(&self, bs: usize) -> u64 {
+        6 * bs as u64
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        if self.last_bs == 0 {
+            return Err("not run yet".into());
+        }
+        // The per-block inout chains give the same per-block sequential
+        // order as the serial loop, so both state and checksum match.
+        let (est, ec) = self.serial(self.last_bs);
+        for (i, (got, want)) in self.storage.iter().zip(&est).enumerate() {
+            if (got - want).abs() > 1e-9 {
+                return Err(format!("storage[{i}] = {got}, expected {want}"));
+            }
+        }
+        let got = *self.checksum;
+        if (got - ec).abs() > 1e-6 * ec.abs().max(1.0) {
+            return Err(format!("checksum {got} != expected {ec}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanotask_core::RuntimeConfig;
+
+    #[test]
+    fn refinement_front_moves() {
+        let l0: Vec<u8> = (0..16).map(|b| level_of(b, 0, 16)).collect();
+        let l1: Vec<u8> = (0..16).map(|b| level_of(b, 1, 16)).collect();
+        assert_ne!(l0, l1, "levels change between phases");
+        assert!(l0.contains(&MAX_LEVEL));
+        assert!(l0.contains(&0));
+    }
+
+    #[test]
+    fn checksum_matches_serial_at_all_blocks() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3));
+        let mut w = MiniAmr::new(1);
+        for bs in [32, 64, 256] {
+            w.run(&rt, bs);
+            w.verify().unwrap_or_else(|e| panic!("bs={bs}: {e}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3));
+        let mut w = MiniAmr::new(1);
+        w.run(&rt, 64);
+        let first = *w.checksum;
+        w.run(&rt, 64);
+        assert_eq!(first, *w.checksum, "same work, same checksum");
+    }
+
+    #[test]
+    fn irregular_task_sizes_per_phase() {
+        let w = MiniAmr::new(1);
+        let _ = &w;
+        let sizes: std::collections::HashSet<usize> = (0..16)
+            .map(|b| cells_at(256, level_of(b, 0, 16)))
+            .collect();
+        assert!(sizes.len() > 1, "mixed task sizes within a phase");
+    }
+}

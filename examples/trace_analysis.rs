@@ -1,0 +1,88 @@
+//! Record a trace with the CTF-lite backend, round-trip it through the
+//! on-disk format, and analyse it: per-core timeline, utilisation and
+//! starvation, DTLock serve histogram, synthetic OS noise (§5 and
+//! Figures 10–11 of the paper).
+//!
+//! ```sh
+//! cargo run --release --example trace_analysis
+//! ```
+
+use std::time::Duration;
+
+use nanotask::trace::noise::NoiseConfig;
+use nanotask::trace::timeline::Timeline;
+use nanotask::trace::{ctf, EventKind};
+use nanotask::{Deps, Runtime, RuntimeConfig};
+
+fn main() {
+    let workers = nanotask::Platform::host_parallelism().clamp(2, 8);
+    let rt = Runtime::new(
+        RuntimeConfig::optimized()
+            .workers(workers)
+            .tracing(true)
+            .with_noise(NoiseConfig {
+                target_core: 0,
+                period: Duration::from_millis(5),
+                duration: Duration::from_millis(1),
+                max_events: 3,
+            }),
+    );
+
+    // A bursty workload: waves of tasks with gaps, so the timeline shows
+    // both busy and starving phases.
+    rt.run(|ctx| {
+        for wave in 0..5 {
+            for _ in 0..200 {
+                ctx.spawn(Deps::new(), move |_| {
+                    std::hint::black_box((0..2_000u64).sum::<u64>());
+                });
+            }
+            ctx.taskwait();
+            let _ = wave;
+        }
+    });
+
+    let trace = rt.trace();
+    println!("captured {} events on {} cores", trace.events().len(), trace.ncores());
+
+    // Round-trip through the CTF-lite binary format.
+    let path = std::env::temp_dir().join("nanotask-example.ntcf");
+    ctf::save(&trace, &path).expect("save trace");
+    let loaded = ctf::load(&path).expect("load trace");
+    assert_eq!(loaded.events().len(), trace.events().len());
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("CTF-lite file: {} ({bytes} bytes, 24 B/event + header)", path.display());
+
+    // Event-kind census.
+    let mut counts = std::collections::BTreeMap::new();
+    for e in trace.events() {
+        *counts.entry(format!("{:?}", e.kind)).or_insert(0u64) += 1;
+    }
+    println!("\nevent census:");
+    for (k, n) in &counts {
+        println!("  {k:<22} {n}");
+    }
+
+    // Timeline analysis.
+    let tl = Timeline::build(&loaded);
+    println!("\nper-core summary:");
+    for core in 0..tl.ncores() {
+        let s = tl.core_stats(core);
+        println!(
+            "  core {core}: tasks={:<5} util={:>5.1}% starved={:>5.1}% interrupted={}ns",
+            s.tasks_run,
+            100.0 * s.utilisation(),
+            100.0 * s.starvation(),
+            s.interrupted_ns
+        );
+    }
+    let interrupts = trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::KernelInterruptBegin)
+        .count();
+    println!("\nsynthetic kernel interrupts injected: {interrupts}");
+    println!("\nASCII timeline (R=running C=creating s=scheduler .=starving !=interrupt w=taskwait):");
+    print!("{}", tl.render_ascii(100));
+    std::fs::remove_file(&path).ok();
+}

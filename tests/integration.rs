@@ -1,0 +1,105 @@
+//! Cross-crate integration: every §6.1 benchmark on every runtime
+//! configuration (the full ablation matrix of Figures 4–6 plus the §6.3
+//! work-stealing comparators), each verified against its serial
+//! reference.
+
+use nanotask::workloads::{all_workloads, workload_by_name};
+use nanotask::{Runtime, RuntimeConfig};
+
+fn configs() -> Vec<RuntimeConfig> {
+    let mut v = RuntimeConfig::ablations();
+    v.push(RuntimeConfig::openmp_llvm_like());
+    v.push(RuntimeConfig::openmp_gcc_like());
+    v
+}
+
+#[test]
+fn full_matrix_all_benchmarks_all_configs() {
+    for cfg in configs() {
+        let label = cfg.label;
+        let rt = Runtime::new(cfg.workers(3));
+        for mut w in all_workloads(1) {
+            let name = w.name();
+            let sizes = w.block_sizes();
+            let bs = sizes[sizes.len() / 2];
+            w.run(&rt, bs);
+            w.verify()
+                .unwrap_or_else(|e| panic!("{name} under '{label}' (bs={bs}): {e}"));
+        }
+    }
+}
+
+#[test]
+fn finest_granularity_all_configs_dotprod() {
+    // The highest-stress point of the paper's sweeps: smallest tasks.
+    for cfg in configs() {
+        let label = cfg.label;
+        let rt = Runtime::new(cfg.workers(4));
+        let mut w = workload_by_name("dotprod", 1).unwrap();
+        let bs = w.block_sizes()[0];
+        w.run(&rt, bs);
+        w.verify().unwrap_or_else(|e| panic!("'{label}': {e}"));
+    }
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let rt = Runtime::new(RuntimeConfig::optimized().workers(3));
+    let mut w = workload_by_name("cholesky", 1).unwrap();
+    w.run(&rt, 16);
+    w.verify().unwrap();
+    w.run(&rt, 16);
+    w.verify().unwrap();
+    w.run(&rt, 32);
+    w.verify().unwrap();
+}
+
+#[test]
+fn no_task_leaks_across_benchmarks() {
+    let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+    for mut w in all_workloads(1) {
+        let sizes = w.block_sizes();
+        w.run(&rt, sizes[sizes.len() - 1]);
+    }
+    assert_eq!(rt.live_tasks(), 0, "task objects leaked");
+    let s = rt.stats();
+    assert_eq!(s.tasks_created, s.tasks_freed);
+    assert_eq!(s.alloc.live, 0, "allocator blocks leaked");
+}
+
+#[test]
+fn single_worker_runtime_completes_everything() {
+    // Degenerate pool: the main thread does all the work (taskwait and
+    // run() helping loops must keep it live).
+    let rt = Runtime::new(RuntimeConfig::optimized().workers(1));
+    for mut w in all_workloads(1) {
+        let name = w.name();
+        let sizes = w.block_sizes();
+        w.run(&rt, sizes[sizes.len() / 2]);
+        w.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn wait_free_stats_populated() {
+    let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+    let mut w = workload_by_name("matmul", 1).unwrap();
+    w.run(&rt, 16);
+    let (accesses, deliveries, _dups) = rt.stats().deps_deliveries;
+    assert!(accesses > 0, "ASM accesses registered");
+    assert!(deliveries > 0, "ASM deliveries happened");
+    // Lemma 2.3: bounded deliveries per access.
+    assert!(deliveries <= accesses * 21, "avg deliveries within |F|");
+}
+
+#[test]
+fn platform_profiles_drive_numa_partitioning() {
+    use nanotask::Platform;
+    for p in Platform::ALL {
+        let scaled = p.scaled_to(4);
+        let rt = Runtime::new(RuntimeConfig::optimized().platform(scaled));
+        let mut w = workload_by_name("heat", 1).unwrap();
+        w.run(&rt, 32);
+        w.verify().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+    }
+}

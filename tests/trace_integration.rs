@@ -1,0 +1,120 @@
+//! Tracing integration: real workloads with the CTF-lite backend on,
+//! trace structure sanity, timeline reconstruction and the Figure 10/11
+//! analyses on live data.
+
+use nanotask::trace::noise::NoiseConfig;
+use nanotask::trace::timeline::Timeline;
+use nanotask::trace::{ctf, EventKind};
+use nanotask::workloads::workload_by_name;
+use nanotask::{Deps, Runtime, RuntimeConfig};
+use std::time::Duration;
+
+#[test]
+fn workload_trace_is_well_formed() {
+    let rt = Runtime::new(RuntimeConfig::optimized().workers(3).tracing(true));
+    let mut w = workload_by_name("miniamr", 1).unwrap();
+    w.run(&rt, w.block_sizes()[0]);
+    w.verify().unwrap();
+    let trace = rt.trace();
+    let starts = trace.events().iter().filter(|e| e.kind == EventKind::TaskStart).count();
+    let ends = trace.events().iter().filter(|e| e.kind == EventKind::TaskEnd).count();
+    assert_eq!(starts, ends, "every started task ends");
+    assert!(starts > 64, "miniAMR spawns many tasks, saw {starts}");
+    // Creation happens only on the creator (root runs on worker 0).
+    let creates = trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::CreateBegin)
+        .collect::<Vec<_>>();
+    assert!(!creates.is_empty());
+    assert!(
+        creates.iter().all(|e| e.core == 0),
+        "single-creator pattern: all creations on core 0"
+    );
+}
+
+#[test]
+fn ctf_roundtrip_of_real_trace() {
+    let rt = Runtime::new(RuntimeConfig::optimized().workers(2).tracing(true));
+    rt.run(|ctx| {
+        for _ in 0..100 {
+            ctx.spawn(Deps::new(), |_| {});
+        }
+    });
+    let trace = rt.trace();
+    let mut buf = Vec::new();
+    ctf::write_trace(&trace, &mut buf).unwrap();
+    let back = ctf::read_trace(&mut buf.as_slice()).unwrap();
+    assert_eq!(back, trace);
+}
+
+#[test]
+fn delegation_trace_contains_serves_under_pressure() {
+    // Several starving workers + a slow creator: the scheduler owner
+    // must serve at least some tasks directly (Figure 10's upper trace).
+    let rt = Runtime::new(RuntimeConfig::optimized().workers(4).tracing(true));
+    rt.run(|ctx| {
+        for _ in 0..5_000 {
+            ctx.spawn(Deps::new(), |_| {
+                std::hint::black_box((0..100u32).sum::<u32>());
+            });
+        }
+    });
+    let tl = Timeline::build(&rt.trace());
+    let drained: u64 = tl.drains().iter().map(|&(_, n)| n).sum();
+    assert!(drained > 0, "tasks must flow through the SPSC buffers");
+}
+
+#[test]
+fn timeline_accounts_for_work() {
+    let rt = Runtime::new(RuntimeConfig::optimized().workers(2).tracing(true));
+    let mut w = workload_by_name("heat", 1).unwrap();
+    w.run(&rt, 16);
+    let tl = Timeline::build(&rt.trace());
+    let total = tl.total_stats();
+    assert!(total.tasks_run > 0);
+    assert!(total.running_ns > 0);
+    // The ASCII rendering covers every core.
+    let art = tl.render_ascii(60);
+    assert_eq!(art.lines().count(), tl.ncores() as usize);
+}
+
+#[test]
+fn noise_injection_shows_up_in_workload_trace() {
+    let rt = Runtime::new(
+        RuntimeConfig::optimized()
+            .workers(2)
+            .tracing(true)
+            .with_noise(NoiseConfig {
+                // Fire essentially immediately so even a fast CI run
+                // crosses the first deadline.
+                target_core: 0,
+                period: Duration::from_micros(1),
+                duration: Duration::from_micros(50),
+                max_events: 4,
+            }),
+    );
+    let mut w = workload_by_name("miniamr", 1).unwrap();
+    w.run(&rt, w.block_sizes()[0]);
+    w.verify().unwrap();
+    let trace = rt.trace();
+    let begins = trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::KernelInterruptBegin)
+        .count();
+    assert!(begins > 0, "synthetic interrupts should fire during the run");
+    let tl = Timeline::build(&trace);
+    assert!(tl.core_stats(0).interrupted_ns > 0);
+}
+
+#[test]
+fn disabled_tracing_costs_no_events() {
+    let rt = Runtime::new(RuntimeConfig::optimized().workers(2)); // trace off
+    rt.run(|ctx| {
+        for _ in 0..100 {
+            ctx.spawn(Deps::new(), |_| {});
+        }
+    });
+    assert!(rt.trace().events().is_empty());
+}
