@@ -69,7 +69,10 @@ pub enum AllocatorKind {
 
 /// Build an allocator of the requested kind. `max_threads` bounds the
 /// number of per-thread magazine slots the pool keeps.
-pub fn make_allocator(kind: AllocatorKind, max_threads: usize) -> std::sync::Arc<dyn RuntimeAllocator> {
+pub fn make_allocator(
+    kind: AllocatorKind,
+    max_threads: usize,
+) -> std::sync::Arc<dyn RuntimeAllocator> {
     match kind {
         AllocatorKind::Pool => std::sync::Arc::new(PoolAllocator::new(max_threads)),
         AllocatorKind::System => std::sync::Arc::new(SystemAllocator::default()),
@@ -245,8 +248,12 @@ impl PoolAllocator {
         let max_threads = max_threads.max(1);
         Self {
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
-            magazines: (0..max_threads).map(|_| Mutex::new(Magazine::new())).collect(),
-            globals: (0..CLASSES.len()).map(|_| Mutex::new(GlobalClass::default())).collect(),
+            magazines: (0..max_threads)
+                .map(|_| Mutex::new(Magazine::new()))
+                .collect(),
+            globals: (0..CLASSES.len())
+                .map(|_| Mutex::new(GlobalClass::default()))
+                .collect(),
             slabs: Mutex::new(Slabs { chunks: Vec::new() }),
             max_threads,
             next_slot: AtomicUsize::new(0),
@@ -276,7 +283,8 @@ impl PoolAllocator {
         let base = unsafe { std::alloc::alloc(layout) };
         assert!(!base.is_null(), "slab allocation failed");
         self.slabs.lock().chunks.push((base, layout));
-        self.slab_bytes.fetch_add(SLAB_BYTES as u64, Ordering::Relaxed);
+        self.slab_bytes
+            .fetch_add(SLAB_BYTES as u64, Ordering::Relaxed);
         let count = SLAB_BYTES / block;
         global.free.reserve(count);
         for i in 0..count {
@@ -458,10 +466,10 @@ mod tests {
                     for i in 0..5_000 {
                         held.push(pool.alloc(layout));
                         unsafe { core::ptr::write_bytes(*held.last().unwrap(), 7, 96) };
-                        if i % 3 == 0 {
-                            if let Some(p) = held.pop() {
-                                unsafe { pool.dealloc(p, layout) };
-                            }
+                        if i % 3 == 0
+                            && let Some(p) = held.pop()
+                        {
+                            unsafe { pool.dealloc(p, layout) };
                         }
                     }
                     for p in held {
@@ -504,7 +512,11 @@ mod tests {
 
     #[test]
     fn make_allocator_kinds() {
-        for kind in [AllocatorKind::Pool, AllocatorKind::System, AllocatorKind::Serialized] {
+        for kind in [
+            AllocatorKind::Pool,
+            AllocatorKind::System,
+            AllocatorKind::Serialized,
+        ] {
             let a = make_allocator(kind, 2);
             let layout = Layout::from_size_align(40, 8).unwrap();
             let p = a.alloc(layout);
@@ -560,7 +572,11 @@ mod prop_tests {
                     prop_assert_eq!(p % align, 0, "misaligned block");
                     for &(q, ql) in &live {
                         let disjoint = p + size <= q || q + ql.size() <= p;
-                        prop_assert!(disjoint, "blocks overlap: {p:#x}+{size} vs {q:#x}+{}", ql.size());
+                        prop_assert!(
+                            disjoint,
+                            "blocks overlap: {p:#x}+{size} vs {q:#x}+{}",
+                            ql.size()
+                        );
                     }
                     live.push((p, layout));
                 }
@@ -603,4 +619,3 @@ mod prop_tests {
         }
     }
 }
-

@@ -2,9 +2,9 @@
 //! on task-shaped lifetimes (small short-lived objects, cross-thread
 //! churn) — the "w/o jemalloc" ablation in microcosm.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use core::alloc::Layout;
-use nanotask_alloc::{make_allocator, AllocatorKind};
+use criterion::{Criterion, criterion_group, criterion_main};
+use nanotask_alloc::{AllocatorKind, make_allocator};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
         AllocatorKind::System,
         AllocatorKind::Serialized,
     ] {
-        c.bench_function(&format!("alloc/single/{kind:?}"), |b| {
+        c.bench_function(format!("alloc/single/{kind:?}"), |b| {
             let a = make_allocator(kind, 4);
             b.iter(|| {
                 let p = a.alloc(layout);
@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
                 unsafe { a.dealloc(p, layout) };
             });
         });
-        c.bench_function(&format!("alloc/churn4/{kind:?}"), |b| {
+        c.bench_function(format!("alloc/churn4/{kind:?}"), |b| {
             b.iter_custom(|iters| {
                 let a = make_allocator(kind, 4);
                 let per = (iters as usize).max(1) * 100;
@@ -35,10 +35,10 @@ fn bench(c: &mut Criterion) {
                             let mut held = Vec::with_capacity(32);
                             for i in 0..per {
                                 held.push(a.alloc(layout));
-                                if i % 2 == 0 {
-                                    if let Some(p) = held.pop() {
-                                        unsafe { a.dealloc(p, layout) };
-                                    }
+                                if i % 2 == 0
+                                    && let Some(p) = held.pop()
+                                {
+                                    unsafe { a.dealloc(p, layout) };
                                 }
                                 if held.len() >= 32 {
                                     for p in held.drain(..) {

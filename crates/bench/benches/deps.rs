@@ -2,12 +2,12 @@
 //! throughput of the wait-free ASM system vs the fine-grained-locking
 //! baseline, on the paper's canonical patterns (chains, fan-in readers).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{Criterion, criterion_group, criterion_main};
 use nanotask_core::{Deps, Runtime, RuntimeConfig};
 use std::time::Instant;
 
 fn chain(c: &mut Criterion, cfg_name: &str, cfg: fn() -> RuntimeConfig) {
-    c.bench_function(&format!("deps/{cfg_name}/chain1000"), |b| {
+    c.bench_function(format!("deps/{cfg_name}/chain1000"), |b| {
         let rt = Runtime::new(cfg().workers(2));
         let x = Box::leak(Box::new(0u64)) as *mut u64;
         let p = nanotask_core::SendPtr::new(x);
@@ -23,7 +23,7 @@ fn chain(c: &mut Criterion, cfg_name: &str, cfg: fn() -> RuntimeConfig) {
             t0.elapsed()
         });
     });
-    c.bench_function(&format!("deps/{cfg_name}/fan_readers"), |b| {
+    c.bench_function(format!("deps/{cfg_name}/fan_readers"), |b| {
         let rt = Runtime::new(cfg().workers(2));
         let x = Box::leak(Box::new(0u64)) as *mut u64;
         let p = nanotask_core::SendPtr::new(x);
@@ -43,7 +43,7 @@ fn chain(c: &mut Criterion, cfg_name: &str, cfg: fn() -> RuntimeConfig) {
             t0.elapsed()
         });
     });
-    c.bench_function(&format!("deps/{cfg_name}/independent"), |b| {
+    c.bench_function(format!("deps/{cfg_name}/independent"), |b| {
         let rt = Runtime::new(cfg().workers(2));
         b.iter_custom(|iters| {
             let t0 = Instant::now();

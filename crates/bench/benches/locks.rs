@@ -3,14 +3,14 @@
 //! perform as well as more complex designs such as MCS or TWA"; ticket
 //! locks degrade under high load.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{Criterion, criterion_group, criterion_main};
 use nanotask_locks::{DtLock, McsLock, PtLock, RawLock, SpinLock, TicketLock, TwaLock};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 fn uncontended<L: RawLock + 'static>(c: &mut Criterion, name: &str) {
-    c.bench_function(&format!("locks/uncontended/{name}"), |b| {
+    c.bench_function(format!("locks/uncontended/{name}"), |b| {
         let l = L::default();
         b.iter(|| {
             l.lock();
@@ -21,7 +21,7 @@ fn uncontended<L: RawLock + 'static>(c: &mut Criterion, name: &str) {
 }
 
 fn contended<L: RawLock + 'static>(c: &mut Criterion, name: &str, threads: usize) {
-    c.bench_function(&format!("locks/contended{threads}/{name}"), |b| {
+    c.bench_function(format!("locks/contended{threads}/{name}"), |b| {
         b.iter_custom(|iters| {
             let l = Arc::new(L::default());
             let counter = Arc::new(AtomicU64::new(0));

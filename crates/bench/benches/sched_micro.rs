@@ -1,14 +1,14 @@
 //! Scheduler microbenchmark backing the §3.4 claim (DTLock ≈ 4× a
 //! PTLock-protected scheduler; SPSC buffering ≈ 12× serial insertion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use nanotask_core::sched::{make_scheduler, LockKind, Policy, SchedKind, TaskPtr};
-use std::sync::atomic::{AtomicBool, Ordering};
+use criterion::{Criterion, criterion_group, criterion_main};
+use nanotask_core::sched::{LockKind, Policy, SchedKind, TaskPtr, make_scheduler};
 use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 fn throughput(c: &mut Criterion, name: &str, kind: SchedKind) {
-    c.bench_function(&format!("sched/{name}/prod1_cons3"), |b| {
+    c.bench_function(format!("sched/{name}/prod1_cons3"), |b| {
         b.iter_custom(|iters| {
             let tasks = (iters as usize).max(1) * 100;
             let sched = make_scheduler(kind, 4, 1, Policy::Fifo, 100);

@@ -1,7 +1,7 @@
 //! SPSC ready-buffer microbenchmarks (§3.1): single-element push/pop and
 //! the `consume_all` batch drain of Listing 5.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{Criterion, criterion_group, criterion_main};
 use std::time::Instant;
 
 fn bench(c: &mut Criterion) {

@@ -2,7 +2,7 @@
 //! lock-free per-core buffers, enabled vs disabled, plus flush cost —
 //! the "very low overhead" requirement of the paper's backend.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{Criterion, criterion_group, criterion_main};
 use nanotask_trace::{EventKind, Tracer};
 
 fn bench(c: &mut Criterion) {

@@ -14,8 +14,8 @@
 use nanotask_core::sched::sync_sched::SyncScheduler;
 use nanotask_core::sched::{Policy, Scheduler, TaskPtr};
 use nanotask_core::task::Task;
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Instant;
 
 fn t(n: usize) -> TaskPtr {
@@ -32,7 +32,10 @@ fn main() {
     // Th0 creates and inserts T0..T3 into the SPSC buffer.
     for i in 0..4 {
         sched.add_ready(t(i), 0, None);
-        println!("[{:>6}us] Th0 addReadyTask(T{i})  -> wait-free SPSC buffer", stamp());
+        println!(
+            "[{:>6}us] Th0 addReadyTask(T{i})  -> wait-free SPSC buffer",
+            stamp()
+        );
     }
 
     // Th1..Th4 call getReadyTask concurrently. The first to get the
@@ -62,13 +65,19 @@ fn main() {
             .unwrap_or_else(|| "none".into());
         println!("[{:>6}us] Th{w} getReadyTask -> {which}", stamp());
     }
-    assert!(got.iter().all(|(_, t)| t.is_some()), "all four threads got a task");
+    assert!(
+        got.iter().all(|(_, t)| t.is_some()),
+        "all four threads got a task"
+    );
 
     // Second wave: T4..T7, consumed via a mix of delegation and direct
     // acquisition, mirroring the figure's tail (Th3 re-enters first).
     for i in 4..8 {
         sched.add_ready(t(i), 0, None);
-        println!("[{:>6}us] Th0 addReadyTask(T{i})  -> wait-free SPSC buffer", stamp());
+        println!(
+            "[{:>6}us] Th0 addReadyTask(T{i})  -> wait-free SPSC buffer",
+            stamp()
+        );
     }
     let mut served = Vec::new();
     for w in [3usize, 2, 1, 4] {

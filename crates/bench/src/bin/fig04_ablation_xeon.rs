@@ -2,7 +2,7 @@
 //! without each optimization, Intel Xeon profile.
 //! Benchmarks: Lulesh, DotProduct, miniAMR, Cholesky.
 
-use nanotask_bench::{run_figure, Opts};
+use nanotask_bench::{Opts, run_figure};
 use nanotask_core::{Platform, RuntimeConfig};
 
 fn main() {

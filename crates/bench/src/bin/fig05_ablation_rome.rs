@@ -1,7 +1,7 @@
 //! Figure 5: ablation efficiency vs granularity, AMD Rome profile.
 //! Benchmarks: NBody, HPCCG, miniAMR, Matmul.
 
-use nanotask_bench::{run_figure, Opts};
+use nanotask_bench::{Opts, run_figure};
 use nanotask_core::{Platform, RuntimeConfig};
 
 fn main() {

@@ -1,7 +1,7 @@
 //! Figure 6: ablation efficiency vs granularity, ARM Graviton2 profile
 //! (single NUMA domain). Benchmarks: Heat, HPCCG, miniAMR, Matmul.
 
-use nanotask_bench::{run_figure, Opts};
+use nanotask_bench::{Opts, run_figure};
 use nanotask_core::{Platform, RuntimeConfig};
 
 fn main() {

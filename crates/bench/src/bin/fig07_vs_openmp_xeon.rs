@@ -3,7 +3,7 @@
 //! Variants: nanotask (≙ Nanos6), GCC-like, LLVM-like (≙ also Intel,
 //! which shares the LLVM runtime architecture).
 
-use nanotask_bench::{run_figure, Opts};
+use nanotask_bench::{Opts, run_figure};
 use nanotask_core::{Platform, RuntimeConfig};
 
 fn main() {

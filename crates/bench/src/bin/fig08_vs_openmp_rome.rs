@@ -1,7 +1,7 @@
 //! Figure 8: vs OpenMP-style runtimes, AMD Rome profile (AOCC shares the
 //! LLVM runtime). Benchmarks: HPCCG, NBody, miniAMR, Matmul.
 
-use nanotask_bench::{run_figure, Opts};
+use nanotask_bench::{Opts, run_figure};
 use nanotask_core::{Platform, RuntimeConfig};
 
 fn main() {

@@ -1,7 +1,7 @@
 //! Figure 9: vs OpenMP-style runtimes, ARM Graviton2 profile.
 //! Benchmarks: Heat, HPCCG, miniAMR, Matmul.
 
-use nanotask_bench::{run_figure, Opts};
+use nanotask_bench::{Opts, run_figure};
 use nanotask_core::{Platform, RuntimeConfig};
 
 fn main() {

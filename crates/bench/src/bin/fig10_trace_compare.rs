@@ -12,7 +12,7 @@
 use nanotask_bench::Opts;
 use nanotask_core::{Platform, Runtime, RuntimeConfig};
 use nanotask_trace::timeline::Timeline;
-use nanotask_workloads::{workload_by_name, Workload};
+use nanotask_workloads::{Workload, workload_by_name};
 use std::time::Instant;
 
 struct Row {
@@ -71,12 +71,8 @@ fn main() {
             r.drained
         );
     }
-    println!(
-        "# paper's observation: the DTLock version keeps task insertion wait-free and"
-    );
-    println!(
-        "# serves ready tasks to waiters (yellow arrows); the PTLock version serializes"
-    );
+    println!("# paper's observation: the DTLock version keeps task insertion wait-free and");
+    println!("# serves ready tasks to waiters (yellow arrows); the PTLock version serializes");
     println!("# both paths, so cores spend their time fighting for the lock instead of running.");
     for r in &rows {
         println!("\n## timeline: {}", r.label);

@@ -48,7 +48,11 @@ fn main() {
     println!("# total stall: {} us", stalled / 1_000);
     println!("# serve histogram over 24 windows (bursts follow the stalls):");
     for (i, n) in tl.serve_histogram(24).iter().enumerate() {
-        println!("window {i:>2}: {:>4} {}", n, "*".repeat((*n as usize).min(70)));
+        println!(
+            "window {i:>2}: {:>4} {}",
+            n,
+            "*".repeat((*n as usize).min(70))
+        );
     }
     println!("\n{}", tl.render_ascii(100));
 }

@@ -1,0 +1,120 @@
+//! Figure 12 (new experiment, beyond the paper's three optimization
+//! axes): per-iteration speedup of **task-graph record & replay**
+//! (`nanotask-replay`) over the fully-optimized runtime (wait-free
+//! dependencies + delegation scheduler + pooled allocator).
+//!
+//! Both modes run the same iterative workloads (heat, HPCCG, N-body) at
+//! the same block sizes for the same number of timesteps; the normal
+//! driver registers/releases the dependency graph every timestep, the
+//! replay driver records it once and replays it with atomic in-degree
+//! counters. At fine granularity the dependency system is a dominant
+//! cost (the premise of the paper's §2), so replay wins most where
+//! tasks are smallest.
+//!
+//! CSV: `benchmark,block,ops_per_task,normal_s,replay_s,speedup`; also
+//! writes `BENCH_fig12_replay_speedup.json` (see `nanotask_bench::json`).
+//!
+//! Extra knobs: `NANOTASK_ITERS` (timesteps per run, default 16),
+//! `NANOTASK_WORKERS` (default 4 — the claim is about 4+ workers),
+//! `NANOTASK_REPS` (best-of repetitions, default 3).
+
+use std::time::Instant;
+
+use nanotask_bench::Opts;
+use nanotask_bench::json::{self, Json};
+use nanotask_core::{Runtime, RuntimeConfig};
+use nanotask_workloads::IterativeWorkload;
+use nanotask_workloads::iterative_workload_by_name;
+
+fn best_of(reps: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let opts = Opts::from_env();
+    let workers = opts.workers.unwrap_or(4).clamp(1, 128);
+    let iters = std::env::var("NANOTASK_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(16)
+        .max(2);
+    println!(
+        "# fig12_replay_speedup: workers={workers} iters={iters} scale={} reps={}",
+        opts.scale, opts.reps
+    );
+    println!("# benchmark,block,ops_per_task,normal_s,replay_s,speedup");
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut finest: Vec<(&'static str, f64)> = Vec::new();
+    for name in ["heat", "hpccg", "nbody"] {
+        let mut w: Box<dyn IterativeWorkload> =
+            iterative_workload_by_name(name, opts.scale).expect("known workload");
+        w.set_iterations(iters);
+        // The two finest granularities: where the dependency system hurts
+        // most and replay is designed to win.
+        let sizes: Vec<usize> = w.block_sizes().into_iter().take(2).collect();
+        for (k, &bs) in sizes.iter().enumerate() {
+            let rt = Runtime::new(RuntimeConfig::optimized().workers(workers));
+            let normal_s = best_of(opts.reps, || w.run(&rt, bs));
+            w.verify()
+                .unwrap_or_else(|e| panic!("{name} normal bs={bs}: {e}"));
+            drop(rt);
+            let rt = Runtime::new(RuntimeConfig::optimized().workers(workers));
+            let replay_s = best_of(opts.reps, || w.run_replay(&rt, bs));
+            w.verify()
+                .unwrap_or_else(|e| panic!("{name} replay bs={bs}: {e}"));
+            drop(rt);
+            let speedup = normal_s / replay_s;
+            let bench_name = w.name();
+            if k == 0 {
+                finest.push((bench_name, speedup));
+            }
+            println!(
+                "{bench_name},{bs},{},{normal_s:.6},{replay_s:.6},{speedup:.3}",
+                w.ops_per_task(bs)
+            );
+            rows.push(Json::obj([
+                ("benchmark", Json::from(bench_name)),
+                ("block", Json::from(bs)),
+                ("ops_per_task", Json::from(w.ops_per_task(bs))),
+                ("iters", Json::from(iters)),
+                ("normal_seconds", Json::from(normal_s)),
+                ("replay_seconds", Json::from(replay_s)),
+                ("speedup", Json::from(speedup)),
+            ]));
+        }
+    }
+
+    for (name, s) in &finest {
+        println!("# finest-granularity per-iteration speedup {name}: {s:.2}x");
+    }
+    let target_met = finest
+        .iter()
+        .filter(|(n, _)| *n == "Heat" || *n == "HPCCG")
+        .all(|(_, s)| *s >= 1.5);
+    println!(
+        "# replay >=1.5x on fine-grained heat+hpccg at {workers} workers: {}",
+        if target_met { "MET" } else { "NOT MET" }
+    );
+
+    let doc = Json::obj([
+        ("figure", Json::from("fig12_replay_speedup")),
+        ("workers", Json::from(workers)),
+        ("iters", Json::from(iters)),
+        ("scale", Json::from(opts.scale)),
+        ("reps", Json::from(opts.reps)),
+        ("target_met", Json::from(target_met)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    match json::write_bench_json("fig12_replay_speedup", &doc) {
+        Ok(Some(path)) => eprintln!("# wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("# BENCH json write failed: {e}"),
+    }
+}

@@ -6,9 +6,9 @@
 //! Drives the three scheduler configurations with one producer and
 //! `workers-1` consumers on raw task pointers and reports throughput.
 
-use nanotask_core::sched::{make_scheduler, LockKind, Policy, SchedKind, TaskPtr};
-use std::sync::atomic::{AtomicBool, Ordering};
+use nanotask_core::sched::{LockKind, Policy, SchedKind, TaskPtr, make_scheduler};
 use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 fn drive(kind: SchedKind, workers: usize, tasks: usize) -> f64 {
@@ -57,8 +57,14 @@ fn main() {
     let pt = drive(SchedKind::Central(LockKind::PtLock), workers, tasks);
     let ticket = drive(SchedKind::Central(LockKind::Ticket), workers, tasks);
     println!("delegation (SPSC+DTLock): {dt:>12.0} tasks/s");
-    println!("central PTLock:           {pt:>12.0} tasks/s  (DTLock speedup {:.2}x)", dt / pt);
-    println!("central TicketLock:       {ticket:>12.0} tasks/s  (DTLock speedup {:.2}x)", dt / ticket);
+    println!(
+        "central PTLock:           {pt:>12.0} tasks/s  (DTLock speedup {:.2}x)",
+        dt / pt
+    );
+    println!(
+        "central TicketLock:       {ticket:>12.0} tasks/s  (DTLock speedup {:.2}x)",
+        dt / ticket
+    );
     println!("# paper claims ~4x vs PTLock and ~12x vs serial insertion on 48+ cores;");
     println!("# on small/oversubscribed hosts the gap narrows but the ordering holds.");
 }

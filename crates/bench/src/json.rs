@@ -1,0 +1,190 @@
+//! Machine-readable benchmark results: `BENCH_*.json`.
+//!
+//! A minimal hand-rolled JSON value/emitter — this build environment has
+//! no crates.io access, so `serde`/`serde_json` are substituted by the
+//! ~100 lines below (documented substitution; the output is plain JSON
+//! consumable by any tooling). Every figure harness writes one
+//! `BENCH_<figure>.json` next to its CSV stdout so the performance
+//! trajectory of replay vs. the §6.2 ablations can be tracked across
+//! PRs. Set `NANOTASK_JSON_DIR` to redirect the output directory, or
+//! `NANOTASK_JSON_DIR=-` to disable writing.
+
+use std::io;
+use std::path::PathBuf;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true`/`false`
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    if *v == v.trunc() && v.abs() < 9e15 {
+                        out.push_str(&format!("{}", *v as i64));
+                    } else {
+                        out.push_str(&format!("{v}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+/// Write `value` to `BENCH_<figure>.json` (in `NANOTASK_JSON_DIR` or the
+/// working directory). Returns the path, or `None` when writing is
+/// disabled (`NANOTASK_JSON_DIR=-`).
+pub fn write_bench_json(figure: &str, value: &Json) -> io::Result<Option<PathBuf>> {
+    let dir = std::env::var("NANOTASK_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    if dir == "-" {
+        return Ok(None);
+    }
+    let safe: String = figure
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = PathBuf::from(dir).join(format!("BENCH_{safe}.json"));
+    std::fs::write(&path, value.render() + "\n")?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(3.25).render(), "3.25");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::Str("a\"b\\c\n".into()).render(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn renders_nested() {
+        let j = Json::obj([
+            ("name", Json::from("fig12")),
+            (
+                "rows",
+                Json::arr([Json::obj([("speedup", Json::from(1.5))])]),
+            ),
+        ]);
+        assert_eq!(j.render(), r#"{"name":"fig12","rows":[{"speedup":1.5}]}"#);
+    }
+
+    #[test]
+    fn write_respects_disable() {
+        unsafe { std::env::set_var("NANOTASK_JSON_DIR", "-") };
+        assert!(write_bench_json("x", &Json::Null).unwrap().is_none());
+        unsafe { std::env::remove_var("NANOTASK_JSON_DIR") };
+    }
+}

@@ -15,8 +15,11 @@
 //!   a minimum of 5).
 
 use nanotask_core::{Platform, Runtime, RuntimeConfig};
-use nanotask_workloads::sweep::{efficiency, sweep, to_csv, SweepPoint};
+use nanotask_workloads::sweep::{SweepPoint, efficiency, sweep, to_csv};
 use nanotask_workloads::workload_by_name;
+
+pub mod json;
+use json::Json;
 
 /// Harness options read from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +67,7 @@ pub fn run_figure(
         platform.name, platform.numa_nodes, opts.scale, opts.reps
     );
     println!("# benchmark,variant,ops_per_task,block,perf,efficiency");
+    let mut rows: Vec<Json> = Vec::new();
     for bench in benchmarks {
         let mut all_points: Vec<Vec<SweepPoint>> = Vec::new();
         let mut labels = Vec::new();
@@ -77,13 +81,38 @@ pub fn run_figure(
             let mut w = workload_by_name(bench, opts.scale)
                 .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
             let points = sweep(&mut *w, &rt, opts.reps);
-            w.verify().unwrap_or_else(|e| panic!("{bench} verification failed: {e}"));
+            w.verify()
+                .unwrap_or_else(|e| panic!("{bench} verification failed: {e}"));
             all_points.push(points);
         }
         let effs = efficiency(&all_points);
         for ((points, eff), label) in all_points.iter().zip(&effs).zip(&labels) {
             print!("{}", to_csv(bench, label, points, eff));
+            for (p, e) in points.iter().zip(eff) {
+                rows.push(Json::obj([
+                    ("benchmark", Json::from(*bench)),
+                    ("variant", Json::from(*label)),
+                    ("ops_per_task", Json::from(p.ops_per_task)),
+                    ("block", Json::from(p.block_size)),
+                    ("seconds", Json::from(p.seconds)),
+                    ("perf", Json::from(p.perf)),
+                    ("efficiency", Json::from(*e)),
+                ]));
+            }
         }
+    }
+    let doc = Json::obj([
+        ("figure", Json::from(figure)),
+        ("platform", Json::from(platform.name)),
+        ("workers", Json::from(workers)),
+        ("scale", Json::from(opts.scale)),
+        ("reps", Json::from(opts.reps)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    match json::write_bench_json(figure, &doc) {
+        Ok(Some(path)) => eprintln!("# wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("# BENCH json write failed: {e}"),
     }
 }
 

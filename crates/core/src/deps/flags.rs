@@ -360,9 +360,13 @@ mod tests {
 
     #[test]
     fn early_guards() {
-        assert!(early_read_guard(TYPE_READ | READ_SAT | SUCC_LINKED | SUCC_READER));
+        assert!(early_read_guard(
+            TYPE_READ | READ_SAT | SUCC_LINKED | SUCC_READER
+        ));
         assert!(!early_read_guard(TYPE_READ | READ_SAT | SUCC_LINKED));
-        assert!(!early_read_guard(TYPE_WRITE | READ_SAT | SUCC_LINKED | SUCC_READER));
+        assert!(!early_read_guard(
+            TYPE_WRITE | READ_SAT | SUCC_LINKED | SUCC_READER
+        ));
         assert!(early_read_guard(
             TYPE_REDUCTION | READ_SAT | SUCC_LINKED | SUCC_SAME_RED
         ));
@@ -386,7 +390,13 @@ mod tests {
     fn monotonicity_of_terminal() {
         // For a sample of flag words, adding bits never turns terminal off.
         let samples = [
-            TYPE_WRITE | READ_SAT | WRITE_SAT | COMPLETE | NO_MORE_CHILD | NO_MORE_SUCC | ACK_PARENT,
+            TYPE_WRITE
+                | READ_SAT
+                | WRITE_SAT
+                | COMPLETE
+                | NO_MORE_CHILD
+                | NO_MORE_SUCC
+                | ACK_PARENT,
             TYPE_READ | READ_SAT | WRITE_SAT | COMPLETE | NO_MORE_CHILD | SUCC_LINKED | ACK_SUCC,
         ];
         let extra_bits = [CHILD_DONE, ACK_R_SUCC, ACK_W_CHILD, RED_TOKEN, SUCC_RED];
@@ -444,13 +454,15 @@ mod prop_tests {
             any::<bool>(),
             proptest::option::of(any::<bool>()),
         )
-            .prop_map(|(ty, succ, has_notify_up, up_same_red, has_child)| Scenario {
-                ty,
-                succ,
-                has_notify_up,
-                up_same_red,
-                has_child,
-            })
+            .prop_map(
+                |(ty, succ, has_notify_up, up_same_red, has_child)| Scenario {
+                    ty,
+                    succ,
+                    has_notify_up,
+                    up_same_red,
+                    has_child,
+                },
+            )
     }
 
     /// Deliver `add`, then synthesize the acknowledgement deliveries of
@@ -558,11 +570,10 @@ mod prop_tests {
                 if let (Some(cd), Some(cl)) = (
                     v.iter().position(|&m| m & CHILD_DONE != 0),
                     v.iter().position(|&m| m & CHILD_LINKED != 0),
-                ) {
-                    if cd < cl {
+                )
+                    && cd < cl {
                         v.swap(cd, cl);
                     }
-                }
                 v
             };
 

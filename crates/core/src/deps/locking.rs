@@ -134,11 +134,7 @@ impl LockingDeps {
         }
         q.active.push(w.task);
         let t = unsafe { &*w.task };
-        if t.unblock() {
-            Some(w.task)
-        } else {
-            None
-        }
+        if t.unblock() { Some(w.task) } else { None }
     }
 }
 
@@ -175,7 +171,11 @@ unsafe impl DependencySystem for LockingDeps {
                     newly_ready = Some(ready);
                 }
             } else {
-                if let Some(prev) = q.waiting.back().map(|e| e.task).or_else(|| q.active.last().copied())
+                if let Some(prev) = q
+                    .waiting
+                    .back()
+                    .map(|e| e.task)
+                    .or_else(|| q.active.last().copied())
                 {
                     hooks.edge(prev, task, addr, 0);
                 }
@@ -217,10 +217,10 @@ unsafe impl DependencySystem for LockingDeps {
             q.active.swap_remove(pos);
             if q.active.is_empty() {
                 // Batch finished: combine a reduction batch exactly once.
-                if let ActiveKind::Reduction(_) = q.kind {
-                    if let Some(info) = q.red.take() {
-                        unsafe { info.combine_into_target() };
-                    }
+                if let ActiveKind::Reduction(_) = q.kind
+                    && let Some(info) = q.red.take()
+                {
+                    unsafe { info.combine_into_target() };
                 }
                 q.kind = ActiveKind::None;
                 // Wake the next batch: the front entry plus every
@@ -228,8 +228,7 @@ unsafe impl DependencySystem for LockingDeps {
                 while let Some(front) = q.waiting.front() {
                     if q.active.is_empty() || q.compatible(front.mode) {
                         let w = q.waiting.pop_front().unwrap();
-                        if let Some(ready) =
-                            unsafe { Self::activate(q, w, addr, hooks.nworkers()) }
+                        if let Some(ready) = unsafe { Self::activate(q, w, addr, hooks.nworkers()) }
                         {
                             to_ready.push(ready);
                         }
@@ -260,8 +259,8 @@ unsafe impl DependencySystem for LockingDeps {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::deps::reduction::RedOp;
     use crate::deps::Deps;
+    use crate::deps::reduction::RedOp;
     use nanotask_alloc::{RuntimeAllocator, SystemAllocator};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -493,7 +492,9 @@ mod tests {
     fn fifo_order_preserved() {
         let h = Harness::new();
         let x = 1u64;
-        let ts: Vec<_> = (0..8).map(|_| h.spawn(None, Deps::new().write(&x))).collect();
+        let ts: Vec<_> = (0..8)
+            .map(|_| h.spawn(None, Deps::new().write(&x)))
+            .collect();
         for (i, &t) in ts.iter().enumerate() {
             assert!(h.is_ready(t), "writer {i} ready");
             if i + 1 < ts.len() {

@@ -119,12 +119,20 @@ impl Deps {
 
     /// Declare a read (`in`) dependency on `v`.
     pub fn read<T>(self, v: &T) -> Self {
-        self.push(v as *const T as usize, core::mem::size_of::<T>(), AccessMode::Read)
+        self.push(
+            v as *const T as usize,
+            core::mem::size_of::<T>(),
+            AccessMode::Read,
+        )
     }
 
     /// Declare a write (`out`) dependency on `v`.
     pub fn write<T>(self, v: &T) -> Self {
-        self.push(v as *const T as usize, core::mem::size_of::<T>(), AccessMode::Write)
+        self.push(
+            v as *const T as usize,
+            core::mem::size_of::<T>(),
+            AccessMode::Write,
+        )
     }
 
     /// Declare a read-write (`inout`) dependency on `v`.
@@ -175,9 +183,20 @@ impl Deps {
         self.list.is_empty()
     }
 
+    /// Borrow the declaration list (inspection, e.g. graph capture).
+    pub fn decls(&self) -> &[AccessDecl] {
+        &self.list
+    }
+
     /// Consume into the declaration list.
     pub fn into_decls(self) -> Vec<AccessDecl> {
         self.list
+    }
+
+    /// Rebuild a `Deps` from a previously captured declaration list
+    /// (the replay system's re-record fallback path).
+    pub fn from_decls(list: Vec<AccessDecl>) -> Self {
+        Self { list }
     }
 }
 

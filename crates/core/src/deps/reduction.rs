@@ -157,7 +157,10 @@ pub struct ReductionInfo {
 impl ReductionInfo {
     /// Create chain state for `nworkers` potential participants.
     pub fn new(addr: usize, len: usize, op: RedOp, nworkers: usize) -> Self {
-        assert!(len.is_multiple_of(op.elem_size()), "region not a multiple of element size");
+        assert!(
+            len.is_multiple_of(op.elem_size()),
+            "region not a multiple of element size"
+        );
         let slots = (0..nworkers.max(1))
             .map(|_| Slot {
                 init: AtomicBool::new(false),

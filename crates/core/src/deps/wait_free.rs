@@ -119,7 +119,12 @@ impl WaitFreeDeps {
         // Rule 2: early read forwarding (reader concurrency / red chains).
         if crossed(old, new, flags::early_read_guard) {
             let succ = a.successor.load(Ordering::Acquire);
-            mb.push(Message::with_ack(succ, flags::READ_SAT, a_ptr, flags::ACK_R_SUCC));
+            mb.push(Message::with_ack(
+                succ,
+                flags::READ_SAT,
+                a_ptr,
+                flags::ACK_R_SUCC,
+            ));
         }
 
         // Rule 3: early write forwarding along same-op reduction chains.
@@ -136,11 +141,21 @@ impl WaitFreeDeps {
         // Rules 4/5: forward satisfiability into the child chain.
         if crossed(old, new, flags::child_read_guard) {
             let child = a.child.load(Ordering::Acquire);
-            mb.push(Message::with_ack(child, flags::READ_SAT, a_ptr, flags::ACK_R_CHILD));
+            mb.push(Message::with_ack(
+                child,
+                flags::READ_SAT,
+                a_ptr,
+                flags::ACK_R_CHILD,
+            ));
         }
         if crossed(old, new, flags::child_write_guard) {
             let child = a.child.load(Ordering::Acquire);
-            mb.push(Message::with_ack(child, flags::WRITE_SAT, a_ptr, flags::ACK_W_CHILD));
+            mb.push(Message::with_ack(
+                child,
+                flags::WRITE_SAT,
+                a_ptr,
+                flags::ACK_W_CHILD,
+            ));
         }
 
         // Rule 6: final propagation to the successor.
@@ -168,7 +183,12 @@ impl WaitFreeDeps {
             }
             if new & flags::HAS_NOTIFY_UP != 0 {
                 let up = a.notify_up.load(Ordering::Acquire);
-                mb.push(Message::with_ack(up, flags::CHILD_DONE, a_ptr, flags::ACK_PARENT));
+                mb.push(Message::with_ack(
+                    up,
+                    flags::CHILD_DONE,
+                    a_ptr,
+                    flags::ACK_PARENT,
+                ));
             } else {
                 // Root/orphan chain end: self-acknowledge so the terminal
                 // predicate is uniform.
@@ -591,7 +611,9 @@ mod tests {
     fn chain_of_many_writers_releases_in_order() {
         let h = Harness::new();
         let x = 1u64;
-        let ts: Vec<_> = (0..10).map(|_| h.spawn(None, Deps::new().write(&x))).collect();
+        let ts: Vec<_> = (0..10)
+            .map(|_| h.spawn(None, Deps::new().write(&x)))
+            .collect();
         for (i, &t) in ts.iter().enumerate() {
             assert!(h.is_ready(t), "writer {i} should be ready");
             if i + 1 < ts.len() {
@@ -624,7 +646,10 @@ mod tests {
         assert!(h.is_ready(p));
         // While p "executes", it spawns a child accessing the same data.
         let c = h.spawn(Some(p), Deps::new().readwrite(&x));
-        assert!(h.is_ready(c), "child gets satisfiability from parent access");
+        assert!(
+            h.is_ready(c),
+            "child gets satisfiability from parent access"
+        );
         h.complete(c);
         h.complete(p);
     }
@@ -785,7 +810,10 @@ mod tests {
         // b's access chain is still open (domain not closed); a's access
         // became terminal when it propagated to b.
         let freed = h.hooks.freed.lock().clone();
-        assert!(freed.contains(&unsafe { (*a).id }), "a reclaimed: {freed:?}");
+        assert!(
+            freed.contains(&unsafe { (*a).id }),
+            "a reclaimed: {freed:?}"
+        );
         drop(h); // root domain close reclaims b (checked by LSan/Miri-style drop)
     }
 }

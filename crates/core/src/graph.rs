@@ -6,12 +6,10 @@
 //! enabled, both dependency systems report every link they create and the
 //! runtime stores them here for rendering.
 
-use serde::{Deserialize, Serialize};
-
 use crate::task::TaskId;
 
 /// Kind of dependency edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeKind {
     /// Next access to the address among sibling tasks.
     Successor,
@@ -31,7 +29,7 @@ impl EdgeKind {
 }
 
 /// One recorded dependency edge.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GraphEdge {
     /// Source task.
     pub from: TaskId,

@@ -46,11 +46,11 @@ pub mod sched;
 pub mod task;
 
 pub use deps::reduction::RedOp;
-pub use deps::{AccessMode, Deps, DepsKind};
+pub use deps::{AccessDecl, AccessMode, Deps, DepsKind};
 pub use platform::Platform;
-pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, TaskCtx};
+pub use runtime::{HeldTask, Runtime, RuntimeConfig, RuntimeStats, SpawnCapture, TaskCtx};
 pub use sched::SchedKind;
-pub use task::TaskId;
+pub use task::{TaskBody, TaskId};
 
 /// A raw pointer that asserts `Send`/`Sync`, for moving addresses of user
 /// data into task bodies (the runtime equivalent of what an OpenMP

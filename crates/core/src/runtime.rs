@@ -15,20 +15,89 @@
 use core::alloc::Layout;
 use core::cell::RefCell;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-use nanotask_alloc::{make_allocator, AllocStats, AllocatorKind, RuntimeAllocator};
+use nanotask_alloc::{AllocStats, AllocatorKind, RuntimeAllocator, make_allocator};
 use nanotask_locks::Backoff;
 use nanotask_trace::noise::{NoiseConfig, NoiseInjector};
 use nanotask_trace::{CoreRecorder, EventKind, Trace, Tracer};
 
 use crate::deps::access::DataAccess;
-use crate::deps::{make_deps, DepHooks, DependencySystem, Deps, DepsKind};
+use crate::deps::{DepHooks, DependencySystem, Deps, DepsKind, make_deps};
 use crate::graph::{EdgeKind, GraphEdge};
 use crate::platform::Platform;
-use crate::sched::{make_scheduler, Policy, SchedKind, Scheduler, TaskPtr};
-use crate::task::{Task, TaskId};
+use crate::sched::{Policy, SchedKind, Scheduler, TaskPtr, make_scheduler};
+use crate::task::{Task, TaskBody, TaskId};
+
+/// Observer of task spawns issued by the *root* task — the hook the
+/// record & replay subsystem (`nanotask-replay`) uses to capture a task
+/// graph without the runtime knowing anything about replay.
+///
+/// Installed with [`Runtime::set_spawn_capture`]. While [`SpawnCapture::active`]
+/// returns true, every `spawn`/`spawn_labeled`/`spawn_prioritized` call
+/// made by the root task body is first offered to [`SpawnCapture::on_spawn`]:
+///
+/// * returning `Some((deps, body))` lets the spawn proceed normally
+///   (record mode — the capture noted the metadata and handed the parts
+///   back);
+/// * returning `None` consumes the spawn (replay mode — the capture
+///   took ownership of the body and schedules it by other means, e.g.
+///   [`TaskCtx::spawn_held`], which it may call from inside `on_spawn`
+///   through the provided `ctx`).
+///
+/// Spawns from non-root tasks (nested parallelism) and internal spawns
+/// (`taskwait_on`) are never offered to the capture.
+///
+/// The runtime only ever invokes these methods from the thread that is
+/// executing the root task body, so implementations may keep their hot
+/// state thread-confined.
+pub trait SpawnCapture: Send + Sync {
+    /// Whether spawns should currently be offered to this capture.
+    fn active(&self) -> bool;
+
+    /// Offer one root spawn. See the trait docs for the return contract.
+    fn on_spawn(
+        &self,
+        ctx: &TaskCtx,
+        label: &'static str,
+        priority: i32,
+        deps: Deps,
+        body: TaskBody,
+    ) -> Option<(Deps, TaskBody)>;
+
+    /// The task id the (non-consumed) spawn ended up with — lets a
+    /// recorder correlate captured nodes with dependency-graph edges.
+    fn on_spawned(&self, _id: TaskId) {}
+}
+
+/// Handle to a task created by [`TaskCtx::spawn_held`]: the task is
+/// fully created but *held* — it is handed to the scheduler only when
+/// [`TaskCtx::release_held`] is called on the handle, exactly once.
+///
+/// The raw pointer is only valid until the task executes; see
+/// [`HeldTask::into_raw`] for the safety contract of round-tripping it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeldTask(*mut Task);
+
+unsafe impl Send for HeldTask {}
+unsafe impl Sync for HeldTask {}
+
+impl HeldTask {
+    /// The raw task pointer, e.g. for storing in an `AtomicPtr` slot.
+    pub fn into_raw(self) -> *mut Task {
+        self.0
+    }
+
+    /// Rebuild a handle from [`HeldTask::into_raw`].
+    ///
+    /// # Safety
+    /// `p` must come from `into_raw` of a handle whose task has not yet
+    /// been released (a held task stays alive until released + executed).
+    pub unsafe fn from_raw(p: *mut Task) -> Self {
+        Self(p)
+    }
+}
 
 /// Runtime configuration: the complete §6 ablation space.
 #[derive(Debug, Clone)]
@@ -240,6 +309,15 @@ pub(crate) struct Shared {
     pub tracer: Tracer,
     pub noise: Option<NoiseInjector>,
     pub graph: Mutex<Vec<GraphEdge>>,
+    /// Dependency-edge recording switch (seeded from `cfg.record_graph`,
+    /// toggled at runtime by the replay recorder).
+    pub graph_enabled: AtomicBool,
+    /// Root-spawn capture hook; `has_capture` is the hot-path fast flag
+    /// and `capture_generation` invalidates per-task caches of the Arc
+    /// so spawns don't take the mutex on every call.
+    pub capture: Mutex<Option<Arc<dyn SpawnCapture>>>,
+    pub has_capture: AtomicBool,
+    pub capture_generation: AtomicU64,
     pub next_id: AtomicU64,
     pub shutdown: AtomicBool,
     pub tasks_created: AtomicU64,
@@ -303,7 +381,7 @@ unsafe impl DepHooks for Hooks<'_> {
     }
 
     fn edge(&self, from: *mut Task, to: *mut Task, addr: usize, kind: u8) {
-        if !self.w.shared.cfg.record_graph {
+        if !self.w.shared.graph_enabled.load(Ordering::Relaxed) {
             return;
         }
         let (f, t) = unsafe { (&*from, &*to) };
@@ -329,9 +407,15 @@ unsafe impl DepHooks for Hooks<'_> {
 /// Handle to a running task, passed to every task body. Provides task
 /// spawning (nested parallelism), taskwait and reduction-slot access —
 /// the library-level OmpSs-2 surface.
+/// Generation-stamped cache of the installed spawn capture.
+type CaptureCache = RefCell<Option<(u64, Option<Arc<dyn SpawnCapture>>)>>;
+
 pub struct TaskCtx<'a> {
     task: *mut Task,
     worker: &'a WorkerCtx,
+    /// Cached spawn-capture handle (generation-stamped), so repeated
+    /// root spawns don't take the capture mutex each time.
+    capture_cache: CaptureCache,
 }
 
 impl TaskCtx<'_> {
@@ -375,7 +459,130 @@ impl TaskCtx<'_> {
         deps: Deps,
         body: impl FnOnce(&TaskCtx) + Send + 'static,
     ) {
-        self.spawn_internal(label, priority, deps, Box::new(body), None);
+        let body: TaskBody = Box::new(body);
+        if let Some(cap) = self.root_capture() {
+            if let Some((deps, body)) = cap.on_spawn(self, label, priority, deps, body) {
+                let id = self.spawn_internal(label, priority, deps, body, None);
+                cap.on_spawned(id);
+            }
+            return;
+        }
+        self.spawn_internal(label, priority, deps, body, None);
+    }
+
+    /// The active spawn capture, if one applies to this task (captures
+    /// only ever observe the root task's spawns). The Arc is cached per
+    /// task context and refreshed when [`Runtime::set_spawn_capture`]
+    /// bumps the generation, keeping the per-spawn cost to two atomic
+    /// loads + one refcount bump.
+    fn root_capture(&self) -> Option<Arc<dyn SpawnCapture>> {
+        let shared = &self.worker.shared;
+        if !shared.has_capture.load(Ordering::Acquire) {
+            return None;
+        }
+        if !unsafe { (*self.task).parent.is_null() } {
+            return None;
+        }
+        let generation = shared.capture_generation.load(Ordering::Acquire);
+        let mut cache = self.capture_cache.borrow_mut();
+        let cap = match &*cache {
+            Some((g, cap)) if *g == generation => cap.clone(),
+            _ => {
+                let cap = shared.capture.lock().clone();
+                *cache = Some((generation, cap.clone()));
+                cap
+            }
+        };
+        cap.filter(|c| c.active())
+    }
+
+    /// Create a child task with *manually managed* readiness: the task
+    /// is fully created (allocated, accounted, linked to its parent) but
+    /// not registered with the dependency system and not scheduled.
+    /// `decls` are attached as data only (so [`TaskCtx::red_slot`] works
+    /// when reduction state was pre-attached) — they impose no ordering.
+    ///
+    /// The task runs after [`TaskCtx::release_held`] is called on the
+    /// returned handle, exactly once, from any task context of the same
+    /// runtime. This is the execution seam the replay subsystem feeds:
+    /// readiness comes from its frozen graph's in-degree counters
+    /// instead of from dependency-system deliveries.
+    pub fn spawn_held(
+        &self,
+        label: &'static str,
+        priority: i32,
+        decls: Vec<crate::deps::AccessDecl>,
+        body: impl FnOnce(&TaskCtx) + Send + 'static,
+    ) -> HeldTask {
+        let shared = &self.worker.shared;
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.worker.record(EventKind::CreateBegin, id);
+        shared.tasks_created.fetch_add(1, Ordering::Relaxed);
+        shared.live_tasks.fetch_add(1, Ordering::Relaxed);
+        let t = shared.alloc.alloc(Layout::new::<Task>()) as *mut Task;
+        unsafe {
+            let mut task = Task::new(
+                id,
+                label,
+                self.task,
+                self.worker.id as u32,
+                Box::new(body),
+                decls,
+            );
+            task.priority = priority;
+            // No dependency registration: readiness is one release call
+            // (+ the creation guard we drop below), and reclamation needs
+            // only the subtree reference (no ASMs are materialized).
+            task.registered = false;
+            task.blockers = AtomicUsize::new(2);
+            task.removal_refs = AtomicUsize::new(1);
+            t.write(task);
+            (*self.task).add_child();
+            let became_ready = (*t).unblock();
+            debug_assert!(!became_ready, "held task ready before release");
+        }
+        self.worker.record(EventKind::CreateEnd, id);
+        HeldTask(t)
+    }
+
+    /// Record a marker event on the executing worker's trace stream.
+    pub fn trace_mark(&self, kind: EventKind, payload: u64) {
+        self.worker.record(kind, payload);
+    }
+
+    /// Toggle dependency-edge recording (see
+    /// [`Runtime::set_graph_recording`]) from within a task.
+    pub fn set_graph_recording(&self, on: bool) {
+        self.worker
+            .shared
+            .graph_enabled
+            .store(on, Ordering::Relaxed);
+    }
+
+    /// Whether dependency edges are currently being recorded.
+    pub fn graph_recording(&self) -> bool {
+        self.worker.shared.graph_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drain the recorded dependency edges (the in-task equivalent of
+    /// [`Runtime::graph_edges`] + [`Runtime::clear_graph_edges`]).
+    pub fn take_graph_edges(&self) -> Vec<GraphEdge> {
+        std::mem::take(&mut *self.worker.shared.graph.lock())
+    }
+
+    /// Release a task created by [`TaskCtx::spawn_held`], handing it to
+    /// the scheduler. Must be called exactly once per handle.
+    pub fn release_held(&self, h: HeldTask) {
+        let t = h.0;
+        if unsafe { (*t).unblock() } {
+            let mut rec = self.worker.recorder.borrow_mut();
+            self.worker
+                .shared
+                .sched
+                .add_ready(TaskPtr(t), self.worker.id, Some(&mut rec));
+        } else {
+            debug_assert!(false, "held task released twice");
+        }
     }
 
     /// OmpSs-2 `taskwait on(...)`: block until every earlier task whose
@@ -387,7 +594,13 @@ impl TaskCtx<'_> {
         let task = unsafe { &*self.task };
         self.worker.record(EventKind::TaskwaitBegin, task.id);
         let done = Arc::new(AtomicBool::new(false));
-        self.spawn_internal("taskwait_on", i32::MAX, deps, Box::new(|_| {}), Some(Arc::clone(&done)));
+        self.spawn_internal(
+            "taskwait_on",
+            i32::MAX,
+            deps,
+            Box::new(|_| {}),
+            Some(Arc::clone(&done)),
+        );
         let mut backoff = Backoff::new();
         while !done.load(Ordering::Acquire) {
             let got = {
@@ -415,7 +628,7 @@ impl TaskCtx<'_> {
         deps: Deps,
         body: crate::task::TaskBody,
         completion: Option<Arc<AtomicBool>>,
-    ) {
+    ) -> TaskId {
         let shared = &self.worker.shared;
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
         self.worker.record(EventKind::CreateBegin, id);
@@ -443,6 +656,7 @@ impl TaskCtx<'_> {
             }
         }
         self.worker.record(EventKind::CreateEnd, id);
+        id
     }
 
     /// Wait until every child spawned so far (and their descendants) has
@@ -503,7 +717,11 @@ fn execute_task(w: &WorkerCtx, t: *mut Task) {
     let id = unsafe { (*t).id };
     w.record(EventKind::TaskStart, id);
     {
-        let ctx = TaskCtx { task: t, worker: w };
+        let ctx = TaskCtx {
+            task: t,
+            worker: w,
+            capture_cache: RefCell::new(None),
+        };
         let body = unsafe { (*t).take_body() }.expect("task executed twice");
         body(&ctx);
     }
@@ -524,7 +742,11 @@ fn execute_task(w: &WorkerCtx, t: *mut Task) {
 fn finish_subtree(w: &WorkerCtx, t: *mut Task) {
     let hooks = Hooks { w };
     unsafe {
-        w.shared.deps.fully_done(t, &hooks);
+        // Held (replay) tasks never registered: their decls are data for
+        // `red_slot` only and must not be released.
+        if (*t).registered {
+            w.shared.deps.fully_done(t, &hooks);
+        }
         let parent = (*t).parent;
         // Signal external waiters before the memory can be reclaimed.
         if let Some(flag) = &(*t).completion_flag {
@@ -614,6 +836,10 @@ impl Runtime {
             tracer: tracer.clone(),
             noise,
             graph: Mutex::new(Vec::new()),
+            graph_enabled: AtomicBool::new(cfg.record_graph),
+            capture: Mutex::new(None),
+            has_capture: AtomicBool::new(false),
+            capture_generation: AtomicU64::new(0),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             tasks_created: AtomicU64::new(0),
@@ -657,14 +883,7 @@ impl Runtime {
         let t = shared.alloc.alloc(Layout::new::<Task>()) as *mut Task;
         let done = Arc::new(AtomicBool::new(false));
         unsafe {
-            let mut task = Task::new(
-                id,
-                "root",
-                core::ptr::null_mut(),
-                0,
-                Box::new(root),
-                vec![],
-            );
+            let mut task = Task::new(id, "root", core::ptr::null_mut(), 0, Box::new(root), vec![]);
             task.completion_flag = Some(Arc::clone(&done));
             t.write(task);
         }
@@ -708,7 +927,8 @@ impl Runtime {
                 // SAFETY: kind() == WaitFree ⇒ the concrete type is
                 // WaitFreeDeps (the factory builds no other).
                 debug_assert_eq!(any.kind(), DepsKind::WaitFree);
-                &*(any as *const dyn DependencySystem as *const crate::deps::wait_free::WaitFreeDeps)
+                &*(any as *const dyn DependencySystem
+                    as *const crate::deps::wait_free::WaitFreeDeps)
             };
             wf.stats()
         } else {
@@ -729,9 +949,40 @@ impl Runtime {
         self.shared.tracer.finish()
     }
 
-    /// Recorded dependency edges (requires `record_graph`).
+    /// Recorded dependency edges (requires `record_graph` or
+    /// [`Runtime::set_graph_recording`]).
     pub fn graph_edges(&self) -> Vec<GraphEdge> {
         self.shared.graph.lock().clone()
+    }
+
+    /// Turn dependency-edge recording on or off at runtime (the replay
+    /// recorder instruments exactly one iteration this way).
+    pub fn set_graph_recording(&self, on: bool) {
+        self.shared.graph_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether dependency edges are currently being recorded.
+    pub fn graph_recording(&self) -> bool {
+        self.shared.graph_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Install (or clear) the root-spawn capture hook. See
+    /// [`SpawnCapture`] for the contract.
+    pub fn set_spawn_capture(&self, cap: Option<Arc<dyn SpawnCapture>>) {
+        let has = cap.is_some();
+        *self.shared.capture.lock() = cap;
+        self.shared
+            .capture_generation
+            .fetch_add(1, Ordering::Release);
+        self.shared.has_capture.store(has, Ordering::Release);
+    }
+
+    /// Record a marker event on worker 0's trace stream (flushed
+    /// immediately so phase boundaries are visible even mid-run).
+    pub fn trace_mark(&self, kind: EventKind, payload: u64) {
+        let mut rec = self.main.recorder.borrow_mut();
+        rec.record(kind, payload);
+        rec.flush();
     }
 
     /// Drop the recorded dependency edges (e.g. between `run`s when only
@@ -800,10 +1051,9 @@ mod tests {
         let p = crate::SendPtr::new(data);
         rt.run(move |ctx| {
             for _ in 0..50 {
-                ctx.spawn(
-                    Deps::new().readwrite_addr(p.addr()),
-                    move |_| unsafe { *p.get() += 1 },
-                );
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1
+                });
             }
         });
         assert_eq!(unsafe { *data }, 50);
@@ -1035,8 +1285,15 @@ mod tests {
             ctx.taskwait_on(Deps::new().read_addr(px.addr()));
             o.store(unsafe { *px.get() }, Ordering::SeqCst);
         });
-        assert_eq!(observed.load(Ordering::SeqCst), 10, "all x-writers finished");
-        assert!(unrelated_done.load(Ordering::SeqCst), "run() still waits for everything");
+        assert_eq!(
+            observed.load(Ordering::SeqCst),
+            10,
+            "all x-writers finished"
+        );
+        assert!(
+            unrelated_done.load(Ordering::SeqCst),
+            "run() still waits for everything"
+        );
         unsafe {
             drop(Box::from_raw(x));
             drop(Box::from_raw(y));

@@ -86,7 +86,8 @@ mod tests {
 
     #[test]
     fn fifo_roundtrip() {
-        let s = CentralScheduler::<PtLock<16>>::new(Policy::Fifo, SchedKind::Central(LockKind::PtLock));
+        let s =
+            CentralScheduler::<PtLock<16>>::new(Policy::Fifo, SchedKind::Central(LockKind::PtLock));
         s.add_ready(fake(1), 0, None);
         s.add_ready(fake(2), 0, None);
         assert_eq!(s.approx_len(), 2);

@@ -169,8 +169,7 @@ pub enum WsVariant {
 }
 
 /// Scheduler configuration, the §6 ablation axis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedKind {
     /// SPSC buffers + Delegation Ticket Lock (the optimized runtime).
     /// §3.1 discusses one global add-buffer up to one per core; the paper
@@ -187,7 +186,6 @@ pub enum SchedKind {
     /// Work-stealing comparator.
     WorkSteal(WsVariant),
 }
-
 
 /// Optional per-call trace recorder.
 pub type Rec<'a> = Option<&'a mut CoreRecorder>;
@@ -274,6 +272,50 @@ mod tests {
         q.push(fake(2));
         assert_eq!(q.pop(), Some(fake(2)));
         assert_eq!(q.pop(), Some(fake(1)));
+    }
+
+    /// The seq-order-among-equals contract of [`PrioEntry`]: the
+    /// priority policy pops strictly by priority, and *insertion order*
+    /// among equal priorities — which is what makes Priority-policy
+    /// execution deterministic when the replay engine feeds ready tasks
+    /// in creation order.
+    #[test]
+    fn priority_ties_pop_in_insertion_order() {
+        let mut q = PolicyQueue::new(Policy::Priority);
+        // Real task objects: the priority policy reads `task.priority`.
+        let prios = [5, 1, 5, 3, 5, 3, 1];
+        let tasks: Vec<*mut Task> = prios
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let mut t = Task::new(
+                    i as u64,
+                    "t",
+                    core::ptr::null_mut(),
+                    0,
+                    Box::new(|_| {}),
+                    vec![],
+                );
+                t.priority = p;
+                Box::into_raw(Box::new(t))
+            })
+            .collect();
+        for &t in &tasks {
+            q.push(TaskPtr(t));
+        }
+        let mut got = Vec::new();
+        while let Some(t) = q.pop() {
+            got.push(unsafe { ((*t.0).priority, (*t.0).id) });
+        }
+        // Priority-descending; ids ascending (insertion order) per tier.
+        assert_eq!(
+            got,
+            vec![(5, 0), (5, 2), (5, 4), (3, 3), (3, 5), (1, 1), (1, 6)],
+            "FIFO among equal priorities"
+        );
+        for t in tasks {
+            unsafe { drop(Box::from_raw(t)) };
+        }
     }
 
     #[test]

@@ -91,7 +91,9 @@ impl Scheduler for WorkStealScheduler {
             r.record(nanotask_trace::EventKind::AddReady, unsafe { (*task.0).id });
         }
         self.len.fetch_add(1, Ordering::Relaxed);
-        self.deques[worker % self.deques.len()].lock().push_back(task);
+        self.deques[worker % self.deques.len()]
+            .lock()
+            .push_back(task);
     }
 
     fn get_ready(&self, worker: usize, _rec: Rec<'_>) -> Option<TaskPtr> {
@@ -194,7 +196,10 @@ mod tests {
             })
             .collect();
         prod.join().unwrap();
-        let mut all: Vec<usize> = thieves.into_iter().flat_map(|t| t.join().unwrap()).collect();
+        let mut all: Vec<usize> = thieves
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
         while let Some(t) = s.get_ready(0, None) {
             all.push(t.0 as usize);
         }

@@ -26,8 +26,8 @@ use core::cell::UnsafeCell;
 use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::collections::HashMap;
 
-use crate::deps::access::DataAccess;
 use crate::deps::AccessDecl;
+use crate::deps::access::DataAccess;
 use crate::runtime::TaskCtx;
 
 /// Unique (per-runtime) task identifier.
@@ -86,6 +86,11 @@ pub struct Task {
     /// earlier under [`crate::sched::Policy::Priority`]. Immutable after
     /// creation.
     pub priority: i32,
+    /// Whether the task was registered with the dependency system.
+    /// False for *held* tasks (replay execution): their `decls` are data
+    /// for `red_slot` only, and the dependency system must not try to
+    /// release them.
+    pub registered: bool,
 }
 
 unsafe impl Send for Task {}
@@ -123,6 +128,7 @@ impl Task {
             child_bottom: UnsafeCell::new(HashMap::new()),
             completion_flag: None,
             priority: 0,
+            registered: true,
         }
     }
 

@@ -99,8 +99,12 @@ impl<T, const N: usize> DtLock<T, N> {
     pub fn new() -> Self {
         Self {
             inner: PtLock::new(),
-            logq: (0..N).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
-            readyq: (0..N).map(|_| CachePadded::new(ReadySlot::default())).collect(),
+            logq: (0..N)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            readyq: (0..N)
+                .map(|_| CachePadded::new(ReadySlot::default()))
+                .collect(),
         }
     }
 
@@ -268,8 +272,8 @@ impl<T: Send, const N: usize> RawLock for DtLock<T, N> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicBool, AtomicUsize};
     use std::sync::Arc;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
 
     #[test]
     fn uncontended_acquire() {

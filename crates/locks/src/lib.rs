@@ -135,8 +135,8 @@ impl RawLock for SpinLock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// Generic mutual-exclusion smoke test shared by all lock tests.
     pub(crate) fn mutual_exclusion<L: RawLock + 'static>(threads: usize, iters: usize) {

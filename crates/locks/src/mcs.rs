@@ -96,7 +96,12 @@ impl McsLock {
             // Possibly no successor: try to swing the tail back to null.
             if self
                 .tail
-                .compare_exchange(node_ptr, ptr::null_mut(), Ordering::Release, Ordering::Relaxed)
+                .compare_exchange(
+                    node_ptr,
+                    ptr::null_mut(),
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                )
                 .is_ok()
             {
                 return;
@@ -119,10 +124,8 @@ impl RawLock for McsLock {
     fn lock(&self) {
         let node = take_node();
         self.lock_node(node);
-        self.holder.store(
-            node as *const McsNode as *mut McsNode,
-            Ordering::Relaxed,
-        );
+        self.holder
+            .store(node as *const McsNode as *mut McsNode, Ordering::Relaxed);
     }
 
     fn unlock(&self) {
@@ -208,8 +211,8 @@ mod tests {
 
     #[test]
     fn handoff_between_threads() {
-        use std::sync::atomic::AtomicUsize;
         use std::sync::Arc;
+        use std::sync::atomic::AtomicUsize;
         let l = Arc::new(McsLock::new());
         let c = Arc::new(AtomicUsize::new(0));
         let hs: Vec<_> = (0..3)

@@ -62,7 +62,12 @@ impl RawLock for TicketLock {
         let serving = self.serving.load(Ordering::Relaxed);
         // The lock is free iff next == serving; claim the ticket only then.
         self.next
-            .compare_exchange(serving, serving.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(
+                serving,
+                serving.wrapping_add(1),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
             .is_ok()
     }
 }
@@ -70,8 +75,8 @@ impl RawLock for TicketLock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn mutual_exclusion() {
@@ -136,10 +141,12 @@ mod tests {
         let l2 = Arc::clone(&l);
         let h = std::thread::spawn(move || {
             for _ in 0..1000 {
-                assert!(!l2.try_lock() || {
-                    l2.unlock();
-                    true
-                });
+                assert!(
+                    !l2.try_lock() || {
+                        l2.unlock();
+                        true
+                    }
+                );
             }
         });
         h.join().unwrap();

@@ -91,10 +91,7 @@ impl RawLock for TwaLock {
         self.serving.store(s, Ordering::Release);
         // Promote the waiter that is now at long-term distance boundary:
         // ticket s + LONG_TERM parks on the array; ping its slot.
-        let slot = wa_slot(
-            self as *const _ as usize,
-            s.wrapping_add(Self::LONG_TERM),
-        );
+        let slot = wa_slot(self as *const _ as usize, s.wrapping_add(Self::LONG_TERM));
         slot.fetch_add(1, Ordering::Release);
     }
 

@@ -1,0 +1,655 @@
+//! The replay engine: [`RunIterative::run_iterative`].
+
+use core::cell::UnsafeCell;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use nanotask_core::deps::reduction::ReductionInfo;
+use nanotask_core::{Deps, HeldTask, Runtime, SpawnCapture, TaskBody, TaskCtx, TaskId};
+use nanotask_trace::EventKind;
+
+use crate::graph::ReplayGraph;
+use crate::recorder::{CaptureMode, GraphRecorder, spawn_sig_hash};
+
+/// What a [`RunIterative::run_iterative`] call did.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Iterations executed in total.
+    pub iterations: usize,
+    /// Iterations replayed from the frozen graph.
+    pub replayed: usize,
+    /// Record iterations (the initial one plus re-records after
+    /// divergence).
+    pub rerecords: usize,
+    /// Iterations that diverged from the recorded graph and fell back to
+    /// the dependency system (each is followed by a re-record).
+    pub diverged: usize,
+    /// Tasks per iteration in the last recorded graph.
+    pub tasks: usize,
+    /// Edges in the last recorded graph.
+    pub edges: usize,
+    /// Edges as `(from, to)` creation-order pairs (test/analysis support).
+    pub edge_list: Vec<(u32, u32)>,
+    /// Successor edges the dependency system reported that involve tasks
+    /// outside the captured set (nested children) — a diagnostic that the
+    /// body uses nesting the replay graph cannot see.
+    pub foreign_edges: usize,
+}
+
+/// Extension trait adding record & replay execution to [`Runtime`].
+pub trait RunIterative {
+    /// Run `body` `iters` times. Iteration 0 executes through the full
+    /// dependency system while a [`GraphRecorder`] captures the task
+    /// graph; iterations `1..iters` replay the frozen graph, feeding
+    /// ready tasks straight to the scheduler and bypassing dependency
+    /// registration/release entirely. Each iteration is a barrier (the
+    /// next iteration's tasks spawn only after the previous iteration's
+    /// subtree completed) and the call returns after the last one.
+    ///
+    /// `body` must spawn the same graph every call for replay to engage;
+    /// if a spawn diverges from the recorded node (cheap per-spawn
+    /// signature hash over label, priority and access set), the already
+    /// replayed prefix is awaited, the rest of that iteration runs
+    /// through the dependency system, and the next iteration re-records.
+    fn run_iterative<F>(&self, iters: usize, body: F) -> ReplayReport
+    where
+        F: Fn(&TaskCtx) + Send + Sync + 'static;
+}
+
+/// Reduction state of one replayed iteration: a fresh chain instance per
+/// recorded group (private per-worker slots, combined exactly once).
+struct GroupState {
+    info: Arc<ReductionInfo>,
+    remaining: AtomicU32,
+}
+
+/// Shared state of one replayed iteration.
+struct IterState {
+    graph: Arc<ReplayGraph>,
+    groups: Vec<GroupState>,
+    /// Released-node count (debug cross-check against graph size).
+    launched: AtomicUsize,
+}
+
+impl IterState {
+    fn new(graph: Arc<ReplayGraph>, workers: usize) -> Self {
+        graph.reset();
+        let groups = graph
+            .groups()
+            .iter()
+            .map(|g| GroupState {
+                info: Arc::new(ReductionInfo::new(g.addr, g.len, g.op, workers)),
+                remaining: AtomicU32::new(g.members),
+            })
+            .collect();
+        Self {
+            graph,
+            groups,
+            launched: AtomicUsize::new(0),
+        }
+    }
+
+    /// Fold partially-fed reduction groups into their targets. On a
+    /// divergent or truncated iteration some group members may have run
+    /// (accumulating into this iteration's private slots) without the
+    /// last member ever firing the combine — their contributions must
+    /// not be dropped. Callers guarantee every fed task has completed
+    /// (taskwait) and no successor that reads the target is running.
+    fn combine_partial(&self) {
+        for (g, meta) in self.groups.iter().zip(self.graph.groups()) {
+            let remaining = g.remaining.load(Ordering::Acquire);
+            if remaining > 0 && remaining < meta.members && !g.info.is_combined() {
+                // SAFETY: all fed members completed and nothing else
+                // touches the target until the caller resumes spawning.
+                unsafe { g.info.combine_into_target() };
+            }
+        }
+    }
+
+    /// Drop one pending reference of node `i`, releasing its held task
+    /// if that was the last one.
+    fn countdown(&self, ctx: &TaskCtx, i: u32) {
+        if let Some(t) = self.graph.countdown(i as usize) {
+            self.launched.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: `t` was published by the creator from a live
+            // HeldTask and each node is released exactly once (the
+            // pending counter reaches zero once per iteration).
+            ctx.release_held(unsafe { HeldTask::from_raw(t) });
+        }
+    }
+
+    /// Feed one matched spawn into the frozen graph: spawn the body held
+    /// (with reduction chain state attached) and drop its creation hold.
+    fn feed(&self, self_arc: &Arc<IterState>, ctx: &TaskCtx, i: usize, body: TaskBody) {
+        let node = &self.graph.nodes()[i];
+        // Reduction accesses need chain state for `red_slot`: attach this
+        // iteration's group instances to bare copies of the declarations.
+        // Non-reduction declarations impose no ordering during replay and
+        // are dropped to keep held-task creation allocation-free.
+        let decls: Vec<_> = node
+            .red
+            .iter()
+            .map(|(d, gi)| {
+                let mut d = d.clone();
+                d.reduction = Some(Arc::clone(&self.groups[*gi].info));
+                d
+            })
+            .collect();
+        let st = Arc::clone(self_arc);
+        let wrapped = move |tc: &TaskCtx| {
+            body(tc);
+            let node = &st.graph.nodes()[i];
+            // Last chain member folds the private slots into the target —
+            // before releasing successors, which may read it.
+            for &(_, gi) in &node.red {
+                let g = &st.groups[gi];
+                if g.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // SAFETY: every group member completed (counter hit
+                    // zero) and successors are not yet released, so the
+                    // target region is exclusively owned.
+                    unsafe { g.info.combine_into_target() };
+                }
+            }
+            for &s in &node.succs {
+                st.countdown(tc, s);
+            }
+        };
+        let held = ctx.spawn_held(node.label, node.priority, decls, wrapped);
+        self.graph.publish(i, held.into_raw());
+        // Drop the creation hold; releases the task if all its
+        // predecessors already finished (or it has none).
+        self.countdown(ctx, i as u32);
+    }
+}
+
+/// The engine's capture: either recording through the embedded
+/// [`GraphRecorder`], or feeding spawns straight into a frozen graph.
+enum Mode {
+    Off,
+    Record,
+    Feed {
+        state: Arc<IterState>,
+        next: usize,
+        diverged: bool,
+    },
+}
+
+/// The capture installed by [`RunIterative::run_iterative`].
+///
+/// Hot state lives in an `UnsafeCell`: the runtime calls `SpawnCapture`
+/// methods only from the thread executing the root task body, and the
+/// engine switches modes only from that same body — all accesses are
+/// sequential on one thread (see the `SpawnCapture` docs).
+struct EngineCapture {
+    mode: UnsafeCell<Mode>,
+    recorder: GraphRecorder,
+}
+
+unsafe impl Send for EngineCapture {}
+unsafe impl Sync for EngineCapture {}
+
+impl EngineCapture {
+    fn new() -> Self {
+        Self {
+            mode: UnsafeCell::new(Mode::Off),
+            recorder: GraphRecorder::new(),
+        }
+    }
+
+    /// # Safety
+    /// Root-thread confinement (see type docs).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn mode(&self) -> &mut Mode {
+        unsafe { &mut *self.mode.get() }
+    }
+
+    fn set_record(&self) {
+        self.recorder.begin(CaptureMode::Record);
+        unsafe { *self.mode() = Mode::Record };
+    }
+
+    fn set_feed(&self, state: Arc<IterState>) {
+        unsafe {
+            *self.mode() = Mode::Feed {
+                state,
+                next: 0,
+                diverged: false,
+            }
+        };
+    }
+
+    /// Leave feed mode; returns `(spawns_seen, diverged)`.
+    fn end_feed(&self) -> (usize, bool) {
+        let mode = unsafe { self.mode() };
+        let out = match mode {
+            Mode::Feed { next, diverged, .. } => (*next, *diverged),
+            _ => (0, false),
+        };
+        *mode = Mode::Off;
+        out
+    }
+
+    fn end_record(&self) -> Vec<crate::recorder::CapturedSpawn> {
+        unsafe { *self.mode() = Mode::Off };
+        self.recorder.take()
+    }
+}
+
+impl SpawnCapture for EngineCapture {
+    fn active(&self) -> bool {
+        !matches!(unsafe { self.mode() }, Mode::Off)
+    }
+
+    fn on_spawn(
+        &self,
+        ctx: &TaskCtx,
+        label: &'static str,
+        priority: i32,
+        deps: Deps,
+        body: TaskBody,
+    ) -> Option<(Deps, TaskBody)> {
+        // SAFETY: root-thread confinement; nothing reached from the calls
+        // below (spawn_held, taskwait, recorder) re-enters this capture —
+        // nested tasks executed while task-waiting are non-root and the
+        // runtime only offers root spawns.
+        let mode = unsafe { self.mode() };
+        match mode {
+            Mode::Off => Some((deps, body)),
+            Mode::Record => self.recorder.on_spawn(ctx, label, priority, deps, body),
+            Mode::Feed {
+                state,
+                next,
+                diverged,
+            } => {
+                if *diverged {
+                    return Some((deps, body));
+                }
+                let i = *next;
+                *next = i + 1;
+                let nodes = state.graph.nodes();
+                if i < nodes.len() && nodes[i].sig == spawn_sig_hash(label, priority, deps.decls())
+                {
+                    state.feed(&Arc::clone(state), ctx, i, body);
+                    None
+                } else {
+                    // Divergence mid-iteration: wait for the already-fed
+                    // prefix (its ordering was enforced by the graph),
+                    // fold any partially-fed reduction groups, then let
+                    // this and all later spawns go through the dependency
+                    // system — conservative and correct.
+                    *diverged = true;
+                    ctx.taskwait();
+                    state.combine_partial();
+                    Some((deps, body))
+                }
+            }
+        }
+    }
+
+    fn on_spawned(&self, id: TaskId) {
+        if matches!(unsafe { self.mode() }, Mode::Record) {
+            self.recorder.on_spawned(id);
+        }
+    }
+}
+
+impl RunIterative for Runtime {
+    fn run_iterative<F>(&self, iters: usize, body: F) -> ReplayReport
+    where
+        F: Fn(&TaskCtx) + Send + Sync + 'static,
+    {
+        if iters == 0 {
+            return ReplayReport::default();
+        }
+        let body = Arc::new(body);
+        let capture = Arc::new(EngineCapture::new());
+        self.set_spawn_capture(Some(Arc::clone(&capture) as _));
+        let workers = self.config().workers;
+        let prev_graph_recording = self.graph_recording();
+        self.clear_graph_edges();
+
+        // All iterations run inside ONE root task, separated by taskwait
+        // barriers: workers never tear down between iterations, which
+        // keeps the per-iteration overhead to the barrier itself.
+        let out: Arc<std::sync::Mutex<ReplayReport>> = Arc::default();
+        let result = Arc::clone(&out);
+        let cap = Arc::clone(&capture);
+        self.run(move |ctx| {
+            let mut graph: Option<Arc<ReplayGraph>> = None;
+            let mut last_graph: Option<Arc<ReplayGraph>> = None;
+            let mut report = ReplayReport::default();
+            for iter in 0..iters {
+                match graph.clone() {
+                    None => {
+                        // Record: execute through the full dependency
+                        // system with the edge tap enabled.
+                        ctx.trace_mark(EventKind::ReplayRecordBegin, iter as u64);
+                        let _ = ctx.take_graph_edges();
+                        ctx.set_graph_recording(true);
+                        cap.set_record();
+                        body(ctx);
+                        let captured = cap.end_record();
+                        ctx.taskwait();
+                        ctx.set_graph_recording(prev_graph_recording);
+                        let tap = ctx.take_graph_edges();
+                        let g = Arc::new(ReplayGraph::build(&captured, &tap));
+                        ctx.trace_mark(EventKind::ReplayRecordEnd, g.len() as u64);
+                        report.rerecords += 1;
+                        last_graph = Some(Arc::clone(&g));
+                        graph = Some(g);
+                    }
+                    Some(g) => {
+                        // Replay: spawns are matched against the frozen
+                        // graph one by one and fed straight to it; a
+                        // mismatch degrades to the dependency system.
+                        ctx.trace_mark(EventKind::ReplayIterBegin, iter as u64);
+                        let state = Arc::new(IterState::new(g, workers));
+                        cap.set_feed(Arc::clone(&state));
+                        body(ctx);
+                        let (spawned, diverged) = cap.end_feed();
+                        let complete = !diverged && spawned == state.graph.len();
+                        ctx.taskwait();
+                        if complete {
+                            debug_assert_eq!(
+                                state.launched.load(Ordering::Relaxed),
+                                state.graph.len(),
+                                "every node released exactly once"
+                            );
+                            report.replayed += 1;
+                        } else {
+                            // Divergent (or truncated) iteration: it ran
+                            // correctly via prefix + barrier + dependency
+                            // system; fold any reduction groups the fed
+                            // prefix touched (no-op if the divergence path
+                            // already did) and re-record from the next
+                            // iteration.
+                            state.combine_partial();
+                            report.diverged += 1;
+                            graph = None;
+                        }
+                        ctx.trace_mark(EventKind::ReplayIterEnd, iter as u64);
+                    }
+                }
+                report.iterations += 1;
+            }
+            if let Some(g) = last_graph {
+                report.tasks = g.len();
+                report.edges = g.edge_count();
+                report.edge_list = g.edge_pairs();
+                report.foreign_edges = g.foreign_edge_count();
+            }
+            *result.lock().unwrap() = report;
+        });
+        self.set_spawn_capture(None);
+        Arc::try_unwrap(out)
+            .map(|m| m.into_inner().unwrap())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanotask_core::{RuntimeConfig, SendPtr};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_iterations_are_fine() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+        let report = rt.run_iterative(3, |_| {});
+        assert_eq!(report.iterations, 3);
+        assert_eq!(report.replayed, 2);
+        assert_eq!(report.tasks, 0);
+    }
+
+    #[test]
+    fn zero_iters_is_a_noop() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+        let report = rt.run_iterative(0, |_| panic!("must not run"));
+        assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
+    fn chain_replays_in_order() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3));
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = SendPtr::new(data);
+        let report = rt.run_iterative(5, move |ctx| {
+            for _ in 0..10 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { *data }, 50);
+        assert_eq!(report.iterations, 5);
+        assert_eq!(report.replayed, 4);
+        assert_eq!(report.rerecords, 1);
+        assert_eq!(report.diverged, 0);
+        assert_eq!(report.tasks, 10);
+        assert_eq!(report.edges, 9);
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn independent_tasks_all_execute() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3));
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let report = rt.run_iterative(4, move |ctx| {
+            for _ in 0..32 {
+                let c = Arc::clone(&c);
+                ctx.spawn(Deps::new(), move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4 * 32);
+        assert_eq!(report.edges, 0);
+    }
+
+    #[test]
+    fn reductions_replay_with_slots() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3));
+        let acc = Box::leak(Box::new(0.0f64)) as *mut f64;
+        let p = SendPtr::new(acc);
+        let iters = 6u64;
+        let n = 16u64;
+        rt.run_iterative(iters as usize, move |ctx| {
+            for i in 0..n {
+                ctx.spawn(
+                    Deps::new().reduce_addr(p.addr(), 8, nanotask_core::RedOp::SumF64),
+                    move |c| unsafe {
+                        let slot = c.red_slot(&*(p.addr() as *const f64));
+                        *slot += (i + 1) as f64;
+                    },
+                );
+            }
+            // Reader forces the chain to combine before the iteration ends.
+            ctx.spawn(Deps::new().read_addr(p.addr()), move |_| {});
+        });
+        let per_iter: f64 = (n * (n + 1) / 2) as f64;
+        assert_eq!(unsafe { *acc }, per_iter * iters as f64);
+        unsafe { drop(Box::from_raw(acc)) };
+    }
+
+    #[test]
+    fn divergent_body_falls_back_and_rerecords() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+        let a = Box::leak(Box::new(0u64)) as *mut u64;
+        let b = Box::leak(Box::new(0u64)) as *mut u64;
+        let (pa, pb) = (SendPtr::new(a), SendPtr::new(b));
+        let iter = Arc::new(AtomicU64::new(0));
+        let report = rt.run_iterative(6, move |ctx| {
+            // Alternate the target address: every replay attempt diverges
+            // from the recorded graph, so replay must never engage wrongly.
+            let i = iter.fetch_add(1, Ordering::Relaxed);
+            let p = if i.is_multiple_of(2) { pa } else { pb };
+            for _ in 0..4 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { (*a, *b) }, (12, 12));
+        assert_eq!(report.iterations, 6);
+        // Records on iterations 0/2/4, divergent fallbacks on 1/3/5.
+        assert_eq!(report.rerecords, 3);
+        assert_eq!(report.diverged, 3);
+        assert_eq!(report.replayed, 0);
+        unsafe {
+            drop(Box::from_raw(a));
+            drop(Box::from_raw(b));
+        }
+    }
+
+    #[test]
+    fn stabilizing_body_switches_back_to_replay() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+        let a = Box::leak(Box::new(0u64)) as *mut u64;
+        let b = Box::leak(Box::new(0u64)) as *mut u64;
+        let (pa, pb) = (SendPtr::new(a), SendPtr::new(b));
+        let iter = Arc::new(AtomicU64::new(0));
+        let report = rt.run_iterative(6, move |ctx| {
+            // Iteration 0 uses `a`, the rest use `b`: one divergence (at
+            // iteration 1), one re-record (iteration 2), then clean replay.
+            let i = iter.fetch_add(1, Ordering::Relaxed);
+            let p = if i == 0 { pa } else { pb };
+            ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                *p.get() += 1;
+            });
+        });
+        assert_eq!(unsafe { (*a, *b) }, (1, 5));
+        assert_eq!(report.rerecords, 2);
+        assert_eq!(report.diverged, 1);
+        assert_eq!(report.replayed, 3);
+        unsafe {
+            drop(Box::from_raw(a));
+            drop(Box::from_raw(b));
+        }
+    }
+
+    #[test]
+    fn truncated_iteration_counts_as_divergence() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = SendPtr::new(data);
+        let iter = Arc::new(AtomicU64::new(0));
+        let report = rt.run_iterative(3, move |ctx| {
+            // Iteration 1 spawns a strict prefix of the recorded graph.
+            let i = iter.fetch_add(1, Ordering::Relaxed);
+            let n = if i == 1 { 2 } else { 4 };
+            for _ in 0..n {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { *data }, 10);
+        assert_eq!(report.diverged, 1);
+        assert_eq!(report.rerecords, 2);
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn duplicate_address_decls_do_not_deadlock_replay() {
+        // Duplicate addresses within one task are a contract violation
+        // (Deps::push debug_asserts them); mixed-mode duplicates deadlock
+        // the dependency system itself, so only the reader+reader form —
+        // which the wait-free system tolerates via early read forwarding —
+        // can be driven end-to-end. The builder coalesces it to a single
+        // access instead of emitting degenerate edges (the mixed-mode
+        // coalescing is pinned by the graph unit test
+        // `duplicate_address_decls_never_self_edge`).
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+        let data = Box::leak(Box::new(7u64)) as *mut u64;
+        let seen = Arc::new(AtomicU64::new(0));
+        let p = SendPtr::new(data);
+        let report = {
+            let seen = Arc::clone(&seen);
+            rt.run_iterative(4, move |ctx| {
+                let writer_decls = vec![nanotask_core::AccessDecl::new(
+                    p.addr(),
+                    8,
+                    nanotask_core::AccessMode::ReadWrite,
+                )];
+                ctx.spawn_labeled("w", Deps::from_decls(writer_decls), move |_| unsafe {
+                    *p.get() += 1;
+                });
+                let dup_read_decls = vec![
+                    nanotask_core::AccessDecl::new(p.addr(), 8, nanotask_core::AccessMode::Read),
+                    nanotask_core::AccessDecl::new(p.addr(), 8, nanotask_core::AccessMode::Read),
+                ];
+                let seen = Arc::clone(&seen);
+                ctx.spawn_labeled("rr", Deps::from_decls(dup_read_decls), move |_| {
+                    seen.fetch_add(unsafe { *p.get() }, Ordering::Relaxed);
+                });
+            })
+        };
+        assert_eq!(unsafe { *data }, 11);
+        // The reader always observes the just-incremented value: 8+9+10+11.
+        assert_eq!(seen.load(Ordering::Relaxed), 38);
+        assert_eq!(report.replayed, 3, "no divergence, no deadlock");
+        assert_eq!(report.edges, 1, "duplicate reads coalesced into one edge");
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn divergence_preserves_partial_reduction_contributions() {
+        // Recorded graph: a 4-member SumF64 group (+ trailing reader).
+        // The next iteration feeds only 2 members before diverging; their
+        // private-slot contributions must still reach the target.
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+        let acc = Box::leak(Box::new(0.0f64)) as *mut f64;
+        let other = Box::leak(Box::new(0u64)) as *mut u64;
+        let (pa, po) = (SendPtr::new(acc), SendPtr::new(other));
+        let iter = Arc::new(AtomicU64::new(0));
+        let report = rt.run_iterative(3, move |ctx| {
+            let it = iter.fetch_add(1, Ordering::Relaxed);
+            let members = if it == 1 { 2 } else { 4 };
+            for i in 0..members {
+                ctx.spawn(
+                    Deps::new().reduce_addr(pa.addr(), 8, nanotask_core::RedOp::SumF64),
+                    move |c| unsafe {
+                        *c.red_slot(&*(pa.addr() as *const f64)) += (i + 1) as f64;
+                    },
+                );
+            }
+            if it == 1 {
+                // Divergent third spawn: different shape than the
+                // recorded node 2.
+                ctx.spawn(Deps::new().readwrite_addr(po.addr()), move |_| unsafe {
+                    *po.get() += 1;
+                });
+            } else {
+                ctx.spawn(Deps::new().read_addr(pa.addr()), move |_| {});
+            }
+        });
+        // Iterations 0 and 2: 1+2+3+4 = 10 each; iteration 1: 1+2 = 3.
+        assert_eq!(unsafe { *acc }, 23.0, "partial group contributions kept");
+        assert_eq!(unsafe { *other }, 1);
+        assert_eq!(report.diverged, 1);
+        unsafe {
+            drop(Box::from_raw(acc));
+            drop(Box::from_raw(other));
+        }
+    }
+
+    #[test]
+    fn tasks_reclaimed_after_replay() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = SendPtr::new(data);
+        rt.run_iterative(4, move |ctx| {
+            for _ in 0..8 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(rt.live_tasks(), 0, "all task objects reclaimed");
+        let s = rt.stats();
+        assert_eq!(s.tasks_created, s.tasks_freed);
+        unsafe { drop(Box::from_raw(data)) };
+    }
+}

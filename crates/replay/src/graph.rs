@@ -1,0 +1,483 @@
+//! The frozen [`ReplayGraph`]: immutable successor lists plus per-task
+//! atomic in-degree counters.
+//!
+//! The builder derives replay edges from the captured access sets with
+//! the same semantics the dependency systems implement:
+//!
+//! * exclusive accesses (`write`/`readwrite`) serialize;
+//! * consecutive readers form a *group* that runs concurrently and is
+//!   collectively a predecessor of the next exclusive access;
+//! * consecutive same-op reductions form a group that runs concurrently
+//!   on private per-worker slots and is combined into the target once,
+//!   when its last member finishes (see the engine).
+//!
+//! The dependency-edge tap (`GraphEdge`) from the instrumented record
+//! iteration is kept as a cross-check: tapped successor edges between
+//! captured tasks must connect nodes the decl-derived graph also
+//! orders; edges touching *unknown* task ids reveal nested children
+//! linking into the recorded iteration (counted, for diagnostics).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+
+use nanotask_core::graph::{EdgeKind, GraphEdge};
+use nanotask_core::task::Task;
+use nanotask_core::{AccessDecl, AccessMode, RedOp, TaskId};
+
+use crate::recorder::{CapturedSpawn, GraphRecorder, spawn_sig_hash};
+
+/// One node of the frozen graph (creation order = node index).
+pub struct ReplayNode {
+    /// Task label.
+    pub label: &'static str,
+    /// Scheduling priority.
+    pub priority: i32,
+    /// Signature hash of (label, priority, access set) — what the replay
+    /// engine matches incoming spawns against.
+    pub sig: u64,
+    /// Nodes that become releasable when this node completes.
+    pub succs: Vec<u32>,
+    /// Number of predecessor edges.
+    pub indeg: u32,
+    /// Reduction accesses: the bare declaration (no chain state attached)
+    /// and the index of the [`RedGroup`] it participates in.
+    pub red: Vec<(AccessDecl, usize)>,
+}
+
+/// A reduction chain instance: consecutive same-op reduction accesses on
+/// one address within the iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedGroup {
+    /// Target base address.
+    pub addr: usize,
+    /// Region length in bytes.
+    pub len: usize,
+    /// The operation.
+    pub op: RedOp,
+    /// Number of participating tasks.
+    pub members: u32,
+}
+
+/// The frozen, replayable task graph of one iteration.
+pub struct ReplayGraph {
+    nodes: Vec<ReplayNode>,
+    groups: Vec<RedGroup>,
+    hash: u64,
+    edges: usize,
+    /// Successor edges the dependency system reported during the record
+    /// iteration, between captured tasks (cross-check/diagnostics).
+    tapped_edges: usize,
+    /// Tapped edges touching task ids outside the captured set (nested
+    /// children linking into the recorded iteration).
+    foreign_edges: usize,
+    /// In-degree countdown per node; `indeg + 1` per iteration (the +1
+    /// is the creation hold, dropped by the engine after the node's held
+    /// task exists).
+    pending: Vec<AtomicU32>,
+    /// The held task of each node for the current iteration.
+    slots: Vec<AtomicPtr<Task>>,
+}
+
+/// Per-address sweep state of the builder.
+struct AddrState {
+    /// The completed exclusive set every current-group member depends on.
+    barrier: Vec<u32>,
+    /// The currently accumulating concurrent group.
+    group: Vec<u32>,
+    class: GroupClass,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GroupClass {
+    Exclusive,
+    Readers,
+    Red(RedOp, usize),
+}
+
+/// Merge two access modes of *one task* on *one address* into the
+/// effective mode: equal modes keep themselves, anything mixed is
+/// exclusive. (Duplicate addresses within a task are a contract
+/// violation the dependency systems `debug_assert` against; the replay
+/// builder must still never emit a self-edge for them.)
+fn merge_modes(a: AccessMode, b: AccessMode) -> AccessMode {
+    if a == b { a } else { AccessMode::ReadWrite }
+}
+
+/// One task's declarations with duplicate addresses coalesced
+/// (first-occurrence order, strongest mode wins).
+fn coalesced(decls: &[AccessDecl]) -> Vec<AccessDecl> {
+    let mut eff: Vec<AccessDecl> = Vec::with_capacity(decls.len());
+    for d in decls {
+        if let Some(prev) = eff.iter_mut().find(|p| p.addr == d.addr) {
+            prev.mode = merge_modes(prev.mode, d.mode);
+            prev.len = prev.len.max(d.len);
+        } else {
+            eff.push(d.clone());
+        }
+    }
+    eff
+}
+
+impl ReplayGraph {
+    /// Freeze a captured iteration. `tap` is the dependency-edge record
+    /// of the instrumented iteration (may be empty when unavailable,
+    /// e.g. after a divergence re-record).
+    pub fn build(captured: &[CapturedSpawn], tap: &[GraphEdge]) -> Self {
+        let n = captured.len();
+        let mut nodes: Vec<ReplayNode> = captured
+            .iter()
+            .map(|c| ReplayNode {
+                label: c.label,
+                priority: c.priority,
+                sig: spawn_sig_hash(c.label, c.priority, &c.decls),
+                succs: Vec::new(),
+                indeg: 0,
+                red: Vec::new(),
+            })
+            .collect();
+        let mut groups: Vec<RedGroup> = Vec::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut per_addr: HashMap<usize, AddrState> = HashMap::new();
+
+        for (i, c) in captured.iter().enumerate() {
+            let i = i as u32;
+            for d in &coalesced(&c.decls) {
+                let class = match d.mode {
+                    AccessMode::Read => GroupClass::Readers,
+                    AccessMode::Reduction(op) => {
+                        // Group index resolved below (joins or new).
+                        GroupClass::Red(op, usize::MAX)
+                    }
+                    _ => GroupClass::Exclusive,
+                };
+                let st = per_addr.entry(d.addr).or_insert_with(|| AddrState {
+                    barrier: Vec::new(),
+                    group: Vec::new(),
+                    class: GroupClass::Exclusive,
+                });
+                let joins = !st.group.is_empty()
+                    && match (st.class, class) {
+                        (GroupClass::Readers, GroupClass::Readers) => true,
+                        (GroupClass::Red(a, _), GroupClass::Red(b, _)) => a == b,
+                        _ => false,
+                    };
+                if joins {
+                    for &b in &st.barrier {
+                        edges.push((b, i));
+                    }
+                    st.group.push(i);
+                } else {
+                    for &g in &st.group {
+                        edges.push((g, i));
+                    }
+                    st.barrier = std::mem::take(&mut st.group);
+                    st.group.push(i);
+                    st.class = match class {
+                        GroupClass::Red(op, _) => {
+                            groups.push(RedGroup {
+                                addr: d.addr,
+                                len: d.len.max(op.elem_size()),
+                                op,
+                                members: 0,
+                            });
+                            GroupClass::Red(op, groups.len() - 1)
+                        }
+                        other => other,
+                    };
+                }
+                if let GroupClass::Red(_, gi) = st.class {
+                    groups[gi].members += 1;
+                    nodes[i as usize]
+                        .red
+                        .push((AccessDecl::new(d.addr, d.len, d.mode), gi));
+                }
+            }
+        }
+
+        edges.sort_unstable();
+        edges.dedup();
+        for &(from, to) in &edges {
+            debug_assert!(from < to, "edges point forward in creation order");
+            nodes[from as usize].succs.push(to);
+            nodes[to as usize].indeg += 1;
+        }
+
+        // Cross-check against the tapped dependency-system edges.
+        let ids: HashMap<TaskId, u32> = captured
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.id.map(|id| (id, i as u32)))
+            .collect();
+        let mut tapped_edges = 0;
+        let mut foreign_edges = 0;
+        for e in tap {
+            if e.kind != EdgeKind::Successor {
+                continue;
+            }
+            match (ids.get(&e.from), ids.get(&e.to)) {
+                (Some(_), Some(_)) => tapped_edges += 1,
+                _ => foreign_edges += 1,
+            }
+        }
+
+        let pending = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let slots = (0..n)
+            .map(|_| AtomicPtr::new(core::ptr::null_mut()))
+            .collect();
+        Self {
+            hash: GraphRecorder::structural_hash(captured),
+            edges: edges.len(),
+            nodes,
+            groups,
+            tapped_edges,
+            foreign_edges,
+            pending,
+            slots,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a graph with no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The nodes, in creation order.
+    pub fn nodes(&self) -> &[ReplayNode] {
+        &self.nodes
+    }
+
+    /// The reduction groups.
+    pub fn groups(&self) -> &[RedGroup] {
+        &self.groups
+    }
+
+    /// Structural hash of the recorded iteration.
+    pub fn structural_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Total (deduplicated) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Successor edges tapped from the dependency system between
+    /// captured tasks during the record iteration.
+    pub fn tapped_edge_count(&self) -> usize {
+        self.tapped_edges
+    }
+
+    /// Tapped edges involving tasks outside the captured set.
+    pub fn foreign_edge_count(&self) -> usize {
+        self.foreign_edges
+    }
+
+    /// All edges as `(from, to)` node-index pairs (test support).
+    pub fn edge_pairs(&self) -> Vec<(u32, u32)> {
+        let mut v = Vec::with_capacity(self.edges);
+        for (i, nd) in self.nodes.iter().enumerate() {
+            for &s in &nd.succs {
+                v.push((i as u32, s));
+            }
+        }
+        v
+    }
+
+    /// Reset every in-degree counter to `indeg + 1` and clear the task
+    /// slots — O(tasks), run once before each replayed iteration. The
+    /// `+1` is the *creation hold*: it guarantees a node cannot be
+    /// released before its held task exists, even if all its
+    /// predecessors finish while the creator is still spawning.
+    pub fn reset(&self) {
+        for (i, nd) in self.nodes.iter().enumerate() {
+            self.pending[i].store(nd.indeg + 1, Ordering::Relaxed);
+            self.slots[i].store(core::ptr::null_mut(), Ordering::Relaxed);
+        }
+    }
+
+    /// Publish node `i`'s held task for this iteration.
+    pub(crate) fn publish(&self, i: usize, task: *mut Task) {
+        self.slots[i].store(task, Ordering::Release);
+    }
+
+    /// Drop one pending reference of node `i`; returns the task pointer
+    /// when the node just became releasable.
+    pub(crate) fn countdown(&self, i: usize) -> Option<*mut Task> {
+        if self.pending[i].fetch_sub(1, Ordering::AcqRel) == 1 {
+            let t = self.slots[i].load(Ordering::Acquire);
+            debug_assert!(!t.is_null(), "released before publication");
+            Some(t)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(label: &'static str, decls: Vec<AccessDecl>) -> CapturedSpawn {
+        CapturedSpawn {
+            label,
+            priority: 0,
+            decls,
+            body: None,
+            id: None,
+        }
+    }
+
+    fn rw(addr: usize) -> AccessDecl {
+        AccessDecl::new(addr, 8, AccessMode::ReadWrite)
+    }
+    fn rd(addr: usize) -> AccessDecl {
+        AccessDecl::new(addr, 8, AccessMode::Read)
+    }
+    fn red(addr: usize) -> AccessDecl {
+        AccessDecl::new(addr, 8, AccessMode::Reduction(RedOp::SumF64))
+    }
+
+    #[test]
+    fn writer_chain_serializes() {
+        let g = ReplayGraph::build(
+            &[
+                cap("a", vec![rw(0x10)]),
+                cap("b", vec![rw(0x10)]),
+                cap("c", vec![rw(0x10)]),
+            ],
+            &[],
+        );
+        assert_eq!(g.edge_pairs(), vec![(0, 1), (1, 2)]);
+        assert_eq!(g.nodes()[0].indeg, 0);
+        assert_eq!(g.nodes()[2].indeg, 1);
+    }
+
+    #[test]
+    fn readers_run_concurrently_between_writers() {
+        let g = ReplayGraph::build(
+            &[
+                cap("w1", vec![rw(0x10)]),
+                cap("r1", vec![rd(0x10)]),
+                cap("r2", vec![rd(0x10)]),
+                cap("w2", vec![rw(0x10)]),
+            ],
+            &[],
+        );
+        // No edge between the two readers; the second writer waits for both.
+        assert_eq!(g.edge_pairs(), vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn leading_readers_have_no_predecessors() {
+        let g = ReplayGraph::build(
+            &[
+                cap("r1", vec![rd(0x10)]),
+                cap("r2", vec![rd(0x10)]),
+                cap("w", vec![rw(0x10)]),
+            ],
+            &[],
+        );
+        assert_eq!(g.edge_pairs(), vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn same_op_reductions_group() {
+        let g = ReplayGraph::build(
+            &[
+                cap("w", vec![rw(0x20)]),
+                cap("s1", vec![red(0x20)]),
+                cap("s2", vec![red(0x20)]),
+                cap("r", vec![rd(0x20)]),
+            ],
+            &[],
+        );
+        // Reductions concurrent among themselves, after the writer,
+        // before the reader.
+        assert_eq!(g.edge_pairs(), vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(g.groups().len(), 1);
+        assert_eq!(g.groups()[0].members, 2);
+        assert_eq!(g.nodes()[1].red.len(), 1);
+        assert_eq!(g.nodes()[2].red.len(), 1);
+    }
+
+    #[test]
+    fn different_op_reductions_serialize() {
+        let a = AccessDecl::new(0x20, 8, AccessMode::Reduction(RedOp::SumF64));
+        let b = AccessDecl::new(0x20, 8, AccessMode::Reduction(RedOp::MaxF64));
+        let g = ReplayGraph::build(&[cap("s", vec![a]), cap("m", vec![b])], &[]);
+        assert_eq!(g.edge_pairs(), vec![(0, 1)]);
+        assert_eq!(g.groups().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_address_decls_never_self_edge() {
+        // read + write on the same address within one task (a contract
+        // violation the dep systems only debug_assert against) must not
+        // produce a self-edge — that would deadlock replay.
+        let both = vec![rd(0x10), rw(0x10)];
+        let g = ReplayGraph::build(&[cap("a", both.clone()), cap("b", both)], &[]);
+        assert_eq!(
+            g.edge_pairs(),
+            vec![(0, 1)],
+            "coalesced to one exclusive access"
+        );
+        assert_eq!(g.nodes()[0].indeg, 0);
+        assert_eq!(g.nodes()[1].indeg, 1);
+    }
+
+    #[test]
+    fn multi_address_edges_dedup() {
+        // Two shared addresses between the same pair → one edge.
+        let g = ReplayGraph::build(
+            &[
+                cap("a", vec![rw(0x10), rw(0x18)]),
+                cap("b", vec![rw(0x10), rw(0x18)]),
+            ],
+            &[],
+        );
+        assert_eq!(g.edge_pairs(), vec![(0, 1)]);
+        assert_eq!(g.nodes()[1].indeg, 1);
+    }
+
+    #[test]
+    fn reset_restores_counters() {
+        let g = ReplayGraph::build(&[cap("a", vec![rw(0x10)]), cap("b", vec![rw(0x10)])], &[]);
+        g.reset();
+        // Node 0: indeg 0 + creation hold → one countdown releases it.
+        let fake = 0x1000 as *mut Task;
+        g.publish(0, fake);
+        assert_eq!(g.countdown(0), Some(fake));
+        // Node 1: indeg 1 + hold → two countdowns.
+        g.publish(1, fake);
+        assert_eq!(g.countdown(1), None);
+        assert_eq!(g.countdown(1), Some(fake));
+        g.reset();
+        g.publish(1, fake);
+        assert_eq!(g.countdown(1), None);
+        assert_eq!(g.countdown(1), Some(fake));
+    }
+
+    #[test]
+    fn tap_crosscheck_counts_foreign_edges() {
+        let mk_edge = |from: TaskId, to: TaskId| GraphEdge {
+            from,
+            from_label: "a".into(),
+            to,
+            to_label: "b".into(),
+            addr: 0x10,
+            kind: EdgeKind::Successor,
+        };
+        let mut c1 = cap("a", vec![rw(0x10)]);
+        c1.id = Some(5);
+        let mut c2 = cap("b", vec![rw(0x10)]);
+        c2.id = Some(6);
+        let g = ReplayGraph::build(&[c1, c2], &[mk_edge(5, 6), mk_edge(6, 99)]);
+        assert_eq!(g.tapped_edge_count(), 1);
+        assert_eq!(g.foreign_edge_count(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Task-graph **record & replay** (`nanotask-replay`).
+//!
+//! The paper this workspace reproduces (PPoPP '21) shows that at fine
+//! task granularity the *dependency system* is a dominant runtime
+//! overhead — its wait-free Atomic State Machines (§2) exist purely to
+//! shrink it. This crate removes that overhead entirely for the common
+//! HPC pattern of **iterative** applications: every timestep of heat,
+//! HPCCG or N-body re-registers and re-releases an *identical*
+//! dependency graph.
+//!
+//! In the spirit of OmpSs-2's `taskiter`/TDG-caching follow-on work, the
+//! subsystem:
+//!
+//! 1. **Records** one instrumented iteration: a [`GraphRecorder`]
+//!    installed through the runtime's [`SpawnCapture`] seam captures
+//!    every root task's creation order, label, priority and access set,
+//!    while the dependency-edge tap (`Runtime::set_graph_recording`,
+//!    the Figure-1 `GraphEdge` machinery) records the successor/child
+//!    links the dependency system actually created. The recorded
+//!    iteration still executes through the full dependency system.
+//! 2. **Freezes** the graph into a [`ReplayGraph`]: immutable successor
+//!    lists, per-task atomic in-degree counters (reset in O(tasks)
+//!    between iterations), and reduction-chain groups that keep the
+//!    paper's concurrent-reduction semantics (private per-worker slots,
+//!    combined once when the last chain member finishes).
+//! 3. **Replays** iterations `1..n`: task bodies are captured by simply
+//!    enumerating the user closure again, matched to graph nodes by
+//!    creation order, and spawned *held* (`TaskCtx::spawn_held`) —
+//!    fully bypassing dependency registration and release. A task is
+//!    handed to the configured scheduler (delegation, central or
+//!    work-stealing — replay is scheduler-agnostic) the moment its
+//!    in-degree counter hits zero.
+//!
+//! Divergence is detected by a cheap structural hash (FNV-1a over
+//! labels, priorities and access sets, in creation order): if an
+//! iteration spawns a different graph, the captured bodies are re-spawned
+//! through the normal dependency system and the graph is re-recorded
+//! from the new structure — correctness never depends on the graphs
+//! actually matching.
+//!
+//! The public surface is the [`RunIterative`] extension trait:
+//!
+//! ```
+//! use nanotask_core::{Runtime, RuntimeConfig, Deps, SendPtr};
+//! use nanotask_replay::RunIterative;
+//!
+//! let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+//! let data = Box::leak(Box::new(0u64)) as *mut u64;
+//! let p = SendPtr::new(data);
+//! let report = rt.run_iterative(10, move |ctx| {
+//!     // One "timestep": a two-task chain on `data`.
+//!     ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+//!         *p.get() += 1;
+//!     });
+//!     ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+//!         *p.get() *= 2;
+//!     });
+//! });
+//! assert_eq!(report.replayed, 9); // recorded once, replayed 9 times
+//! assert_eq!(unsafe { *data }, 2046);
+//! unsafe { drop(Box::from_raw(data)) };
+//! ```
+//!
+//! ## Scope and limitations
+//!
+//! * Only *root-level* spawns are captured; nested children spawned by
+//!   replayed tasks run through the normal dependency system inside
+//!   their parent's domain. Cross-sibling dependencies of nested tasks
+//!   are not enforced during replay (none of the §6.1 workloads need
+//!   them) — see ROADMAP "taskwait nesting".
+//! * Iteration boundaries are barriers: replay trades the dependency
+//!   system's cross-iteration pipelining for zero dependency-system
+//!   cost, which is the winning trade at fine granularity (the
+//!   `fig12_replay_speedup` experiment).
+
+mod engine;
+mod graph;
+mod recorder;
+
+pub use engine::{ReplayReport, RunIterative};
+pub use graph::{RedGroup, ReplayGraph, ReplayNode};
+pub use recorder::{CaptureMode, CapturedSpawn, GraphRecorder};
+
+// Re-exported for doc links and downstream convenience.
+pub use nanotask_core::{Runtime, SpawnCapture, TaskCtx};

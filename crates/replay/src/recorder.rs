@@ -1,0 +1,220 @@
+//! The [`GraphRecorder`]: a [`SpawnCapture`] that turns root spawns into
+//! captured graph nodes.
+
+use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+use nanotask_core::{AccessDecl, AccessMode, Deps, SpawnCapture, TaskBody, TaskCtx, TaskId};
+
+/// One captured root spawn, in creation order.
+pub struct CapturedSpawn {
+    /// Task label (traces / graph dumps).
+    pub label: &'static str,
+    /// OmpSs-2 `priority` clause value.
+    pub priority: i32,
+    /// The declared access set, exactly as the user built it.
+    pub decls: Vec<AccessDecl>,
+    /// The task body — present only in [`CaptureMode::Consume`].
+    pub body: Option<TaskBody>,
+    /// The runtime task id — present only in [`CaptureMode::Record`]
+    /// (filled by the `on_spawned` callback), used to correlate captured
+    /// nodes with tapped dependency-graph edges.
+    pub id: Option<TaskId>,
+}
+
+/// What the recorder does with offered spawns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureMode {
+    /// Note metadata, hand the parts back: the spawn proceeds through
+    /// the full dependency system (the instrumented record iteration).
+    Record,
+    /// Keep body and access set, consume the spawn (the caller will
+    /// schedule the bodies by other means).
+    Consume,
+}
+
+/// Captures the root task's spawns while active. Install with
+/// [`nanotask_core::Runtime::set_spawn_capture`] (directly, or via the
+/// replay engine which embeds one); drive with [`GraphRecorder::begin`]
+/// / [`GraphRecorder::take`].
+#[derive(Default)]
+pub struct GraphRecorder {
+    active: AtomicBool,
+    mode: AtomicU8, // 0 = Record, 1 = Consume
+    buf: Mutex<Vec<CapturedSpawn>>,
+}
+
+/// FNV-1a over a byte stream.
+fn fnv(mut h: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Signature hash of one spawn: label, priority and access set. The
+/// replay engine matches incoming spawns against recorded nodes with
+/// this (cheap, allocation-free) hash.
+pub fn spawn_sig_hash(label: &str, priority: i32, decls: &[AccessDecl]) -> u64 {
+    let mut h = fnv(0xcbf29ce484222325, label.bytes());
+    h = fnv(h, (priority as u64).to_le_bytes());
+    h = fnv(h, (decls.len() as u64).to_le_bytes());
+    for d in decls {
+        h = fnv(h, (d.addr as u64).to_le_bytes());
+        h = fnv(h, (d.len as u64).to_le_bytes());
+        h = fnv(h, mode_tag(d.mode).to_le_bytes());
+    }
+    h
+}
+
+impl GraphRecorder {
+    /// A new, inactive recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start capturing in `mode` (clears any previous capture).
+    pub fn begin(&self, mode: CaptureMode) {
+        self.buf.lock().unwrap().clear();
+        self.mode.store(
+            if mode == CaptureMode::Consume { 1 } else { 0 },
+            Ordering::Relaxed,
+        );
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// Stop capturing.
+    pub fn stop(&self) {
+        self.active.store(false, Ordering::Release);
+    }
+
+    /// Stop capturing and take the captured spawns.
+    pub fn take(&self) -> Vec<CapturedSpawn> {
+        self.stop();
+        std::mem::take(&mut *self.buf.lock().unwrap())
+    }
+
+    /// Structural hash of a captured spawn sequence (the per-spawn
+    /// [`spawn_sig_hash`]es chained in creation order). Two iterations
+    /// with equal hashes spawn the same graph shape over the same
+    /// addresses — the replay engine's divergence check.
+    pub fn structural_hash(captured: &[CapturedSpawn]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for c in captured {
+            h = fnv(
+                h,
+                spawn_sig_hash(c.label, c.priority, &c.decls).to_le_bytes(),
+            );
+        }
+        h
+    }
+}
+
+/// Stable discriminant for hashing an access mode.
+fn mode_tag(m: AccessMode) -> u64 {
+    match m {
+        AccessMode::Read => 1,
+        AccessMode::Write => 2,
+        AccessMode::ReadWrite => 3,
+        AccessMode::Reduction(op) => 100 + op as u64,
+    }
+}
+
+impl SpawnCapture for GraphRecorder {
+    fn active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    fn on_spawn(
+        &self,
+        _ctx: &TaskCtx,
+        label: &'static str,
+        priority: i32,
+        deps: Deps,
+        body: TaskBody,
+    ) -> Option<(Deps, TaskBody)> {
+        let consume = self.mode.load(Ordering::Relaxed) == 1;
+        let mut buf = self.buf.lock().unwrap();
+        if consume {
+            buf.push(CapturedSpawn {
+                label,
+                priority,
+                decls: deps.into_decls(),
+                body: Some(body),
+                id: None,
+            });
+            None
+        } else {
+            buf.push(CapturedSpawn {
+                label,
+                priority,
+                decls: deps.decls().to_vec(),
+                body: None,
+                id: None,
+            });
+            Some((deps, body))
+        }
+    }
+
+    fn on_spawned(&self, id: TaskId) {
+        if let Some(last) = self.buf.lock().unwrap().last_mut() {
+            last.id = Some(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(label: &'static str, prio: i32, decls: Vec<AccessDecl>) -> CapturedSpawn {
+        CapturedSpawn {
+            label,
+            priority: prio,
+            decls,
+            body: None,
+            id: None,
+        }
+    }
+
+    #[test]
+    fn hash_sensitive_to_structure() {
+        let a = vec![cap(
+            "t",
+            0,
+            vec![AccessDecl::new(0x10, 8, AccessMode::Read)],
+        )];
+        let b = vec![cap(
+            "t",
+            0,
+            vec![AccessDecl::new(0x10, 8, AccessMode::Write)],
+        )];
+        let c = vec![cap(
+            "t",
+            1,
+            vec![AccessDecl::new(0x10, 8, AccessMode::Read)],
+        )];
+        let d = vec![cap(
+            "u",
+            0,
+            vec![AccessDecl::new(0x10, 8, AccessMode::Read)],
+        )];
+        let ha = GraphRecorder::structural_hash(&a);
+        assert_ne!(ha, GraphRecorder::structural_hash(&b), "mode");
+        assert_ne!(ha, GraphRecorder::structural_hash(&c), "priority");
+        assert_ne!(ha, GraphRecorder::structural_hash(&d), "label");
+        assert_eq!(ha, GraphRecorder::structural_hash(&a), "stable");
+    }
+
+    #[test]
+    fn sig_hash_distinguishes_access_sets() {
+        let a = [AccessDecl::new(0x10, 8, AccessMode::Read)];
+        let b = [
+            AccessDecl::new(0x10, 8, AccessMode::Read),
+            AccessDecl::new(0x20, 8, AccessMode::Write),
+        ];
+        assert_ne!(spawn_sig_hash("t", 0, &a), spawn_sig_hash("t", 0, &b));
+        assert_eq!(spawn_sig_hash("t", 0, &a), spawn_sig_hash("t", 0, &a));
+    }
+}

@@ -95,11 +95,7 @@ pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
 #[inline]
 fn next(i: usize, cap: usize) -> usize {
     let n = i + 1;
-    if n == cap {
-        0
-    } else {
-        n
-    }
+    if n == cap { 0 } else { n }
 }
 
 impl<T> Producer<T> {

@@ -13,8 +13,8 @@
 //!          ns u64 LE | payload u64 LE | core u16 LE | kind u8 | pad [5]
 //! ```
 
-use crate::event::{Event, EventKind};
 use crate::Trace;
+use crate::event::{Event, EventKind};
 use std::io::{self, Read, Write};
 
 /// File magic.
@@ -197,7 +197,7 @@ mod prop_tests {
     use proptest::prelude::*;
 
     fn arb_event() -> impl Strategy<Value = Event> {
-        (any::<u64>(), any::<u64>(), any::<u16>(), 0u8..18).prop_map(|(ns, payload, core, k)| {
+        (any::<u64>(), any::<u64>(), any::<u16>(), 0u8..22).prop_map(|(ns, payload, core, k)| {
             Event {
                 ns,
                 payload,
@@ -240,4 +240,3 @@ mod prop_tests {
         }
     }
 }
-

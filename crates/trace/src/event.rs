@@ -6,11 +6,9 @@
 //! (yellow arrows), wait-free queue draining (green) and kernel
 //! interrupts (purple).
 
-use serde::{Deserialize, Serialize};
-
 /// What happened. The discriminants are stable: they are the on-disk
 /// encoding of the CTF-lite format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum EventKind {
     /// A task body started executing. Payload: task id.
@@ -52,6 +50,16 @@ pub enum EventKind {
     TaskwaitEnd = 16,
     /// Free-form user marker.
     UserMarker = 17,
+    /// A replay-system *record* iteration began (graph capture through
+    /// the full dependency system). Payload: iteration index.
+    ReplayRecordBegin = 18,
+    /// The record iteration finished. Payload: tasks captured.
+    ReplayRecordEnd = 19,
+    /// A *replayed* iteration began (dependency system bypassed, ready
+    /// tasks fed from the frozen graph). Payload: iteration index.
+    ReplayIterBegin = 20,
+    /// The replayed iteration finished. Payload: iteration index.
+    ReplayIterEnd = 21,
 }
 
 impl EventKind {
@@ -77,6 +85,10 @@ impl EventKind {
             15 => TaskwaitBegin,
             16 => TaskwaitEnd,
             17 => UserMarker,
+            18 => ReplayRecordBegin,
+            19 => ReplayRecordEnd,
+            20 => ReplayIterBegin,
+            21 => ReplayIterEnd,
             _ => return None,
         })
     }
@@ -103,12 +115,16 @@ impl EventKind {
             TaskwaitBegin,
             TaskwaitEnd,
             UserMarker,
+            ReplayRecordBegin,
+            ReplayRecordEnd,
+            ReplayIterBegin,
+            ReplayIterEnd,
         ]
     }
 }
 
 /// One trace record: 24 bytes on disk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// Nanoseconds since the tracer epoch.
     pub ns: u64,
@@ -134,7 +150,7 @@ mod tests {
     #[test]
     fn unknown_kind_rejected() {
         assert_eq!(EventKind::from_u8(200), None);
-        assert_eq!(EventKind::from_u8(18), None);
+        assert_eq!(EventKind::from_u8(22), None);
     }
 
     #[test]

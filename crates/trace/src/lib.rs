@@ -32,8 +32,8 @@ pub mod timeline;
 pub use event::{Event, EventKind};
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Events per sub-buffer; a full sub-buffer triggers a flush to the sink.

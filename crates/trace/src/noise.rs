@@ -13,8 +13,8 @@
 //! the chosen worker busy-sleeps for `duration`, bracketing the stall
 //! with interrupt events.
 
-use crate::event::EventKind;
 use crate::CoreRecorder;
+use crate::event::EventKind;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 

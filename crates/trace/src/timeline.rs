@@ -10,13 +10,12 @@
 //! statistics (starvation fraction, serve counts/bursts) used to compare
 //! the PTLock and DTLock schedulers quantitatively.
 
-use crate::event::EventKind;
 use crate::Trace;
-use serde::{Deserialize, Serialize};
+use crate::event::EventKind;
 
 /// What a core was doing during an interval. Maps 1:1 onto the colour
 /// legend of Figure 10/11.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoreState {
     /// Executing a task body (red).
     Running,
@@ -50,7 +49,7 @@ impl CoreState {
 }
 
 /// A maximal interval of one core in one state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interval {
     /// Start, ns since trace epoch.
     pub start: u64,
@@ -73,7 +72,7 @@ impl Interval {
 }
 
 /// Aggregate statistics for one core.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CoreStats {
     /// ns spent in each state.
     pub running_ns: u64,
@@ -124,7 +123,7 @@ impl CoreStats {
 }
 
 /// Whole-trace analysis result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Timeline {
     ncores: u16,
     span: (u64, u64),
@@ -137,14 +136,9 @@ pub struct Timeline {
 impl Timeline {
     /// Reconstruct per-core intervals from a trace.
     pub fn build(trace: &Trace) -> Self {
-        let ncores = trace.ncores().max(
-            trace
-                .events()
-                .iter()
-                .map(|e| e.core + 1)
-                .max()
-                .unwrap_or(0),
-        );
+        let ncores = trace
+            .ncores()
+            .max(trace.events().iter().map(|e| e.core + 1).max().unwrap_or(0));
         let start = trace.events().first().map(|e| e.ns).unwrap_or(0);
         let end = trace.events().last().map(|e| e.ns).unwrap_or(0);
         let mut intervals: Vec<Vec<Interval>> = vec![Vec::new(); ncores as usize];
@@ -155,11 +149,11 @@ impl Timeline {
         let mut cur: Vec<(CoreState, u64)> = vec![(CoreState::Other, start); ncores as usize];
 
         let switch = |core: usize,
-                          now: u64,
-                          next: CoreState,
-                          intervals: &mut Vec<Vec<Interval>>,
-                          per_core: &mut Vec<CoreStats>,
-                          cur: &mut Vec<(CoreState, u64)>| {
+                      now: u64,
+                      next: CoreState,
+                      intervals: &mut Vec<Vec<Interval>>,
+                      per_core: &mut Vec<CoreStats>,
+                      cur: &mut Vec<(CoreState, u64)>| {
             let (state, since) = cur[core];
             if now > since && state != CoreState::Other {
                 intervals[core].push(Interval {
@@ -187,31 +181,75 @@ impl Timeline {
             match e.kind {
                 EventKind::TaskStart => {
                     per_core[core].tasks_run += 1;
-                    switch(core, e.ns, CoreState::Running, &mut intervals, &mut per_core, &mut cur);
+                    switch(
+                        core,
+                        e.ns,
+                        CoreState::Running,
+                        &mut intervals,
+                        &mut per_core,
+                        &mut cur,
+                    );
                 }
-                EventKind::TaskEnd => {
-                    switch(core, e.ns, CoreState::Other, &mut intervals, &mut per_core, &mut cur)
-                }
-                EventKind::CreateBegin => {
-                    switch(core, e.ns, CoreState::Creating, &mut intervals, &mut per_core, &mut cur)
-                }
+                EventKind::TaskEnd => switch(
+                    core,
+                    e.ns,
+                    CoreState::Other,
+                    &mut intervals,
+                    &mut per_core,
+                    &mut cur,
+                ),
+                EventKind::CreateBegin => switch(
+                    core,
+                    e.ns,
+                    CoreState::Creating,
+                    &mut intervals,
+                    &mut per_core,
+                    &mut cur,
+                ),
                 EventKind::CreateEnd => {
                     // Creation happens inside a running task body: fall back
                     // to Running rather than Other.
-                    switch(core, e.ns, CoreState::Running, &mut intervals, &mut per_core, &mut cur)
+                    switch(
+                        core,
+                        e.ns,
+                        CoreState::Running,
+                        &mut intervals,
+                        &mut per_core,
+                        &mut cur,
+                    )
                 }
-                EventKind::SchedEnter => {
-                    switch(core, e.ns, CoreState::Scheduler, &mut intervals, &mut per_core, &mut cur)
-                }
-                EventKind::SchedExit => {
-                    switch(core, e.ns, CoreState::Other, &mut intervals, &mut per_core, &mut cur)
-                }
-                EventKind::IdleBegin => {
-                    switch(core, e.ns, CoreState::Idle, &mut intervals, &mut per_core, &mut cur)
-                }
-                EventKind::IdleEnd => {
-                    switch(core, e.ns, CoreState::Other, &mut intervals, &mut per_core, &mut cur)
-                }
+                EventKind::SchedEnter => switch(
+                    core,
+                    e.ns,
+                    CoreState::Scheduler,
+                    &mut intervals,
+                    &mut per_core,
+                    &mut cur,
+                ),
+                EventKind::SchedExit => switch(
+                    core,
+                    e.ns,
+                    CoreState::Other,
+                    &mut intervals,
+                    &mut per_core,
+                    &mut cur,
+                ),
+                EventKind::IdleBegin => switch(
+                    core,
+                    e.ns,
+                    CoreState::Idle,
+                    &mut intervals,
+                    &mut per_core,
+                    &mut cur,
+                ),
+                EventKind::IdleEnd => switch(
+                    core,
+                    e.ns,
+                    CoreState::Other,
+                    &mut intervals,
+                    &mut per_core,
+                    &mut cur,
+                ),
                 EventKind::KernelInterruptBegin => switch(
                     core,
                     e.ns,
@@ -220,21 +258,40 @@ impl Timeline {
                     &mut per_core,
                     &mut cur,
                 ),
-                EventKind::KernelInterruptEnd => {
-                    switch(core, e.ns, CoreState::Other, &mut intervals, &mut per_core, &mut cur)
-                }
-                EventKind::TaskwaitBegin => {
-                    switch(core, e.ns, CoreState::Taskwait, &mut intervals, &mut per_core, &mut cur)
-                }
-                EventKind::TaskwaitEnd => {
-                    switch(core, e.ns, CoreState::Running, &mut intervals, &mut per_core, &mut cur)
-                }
+                EventKind::KernelInterruptEnd => switch(
+                    core,
+                    e.ns,
+                    CoreState::Other,
+                    &mut intervals,
+                    &mut per_core,
+                    &mut cur,
+                ),
+                EventKind::TaskwaitBegin => switch(
+                    core,
+                    e.ns,
+                    CoreState::Taskwait,
+                    &mut intervals,
+                    &mut per_core,
+                    &mut cur,
+                ),
+                EventKind::TaskwaitEnd => switch(
+                    core,
+                    e.ns,
+                    CoreState::Running,
+                    &mut intervals,
+                    &mut per_core,
+                    &mut cur,
+                ),
                 EventKind::SchedServe => serves.push((e.ns, e.payload)),
                 EventKind::SchedDrain => drains.push((e.ns, e.payload)),
                 EventKind::AddReady
                 | EventKind::DepRegister
                 | EventKind::DepRelease
-                | EventKind::UserMarker => {}
+                | EventKind::UserMarker
+                | EventKind::ReplayRecordBegin
+                | EventKind::ReplayRecordEnd
+                | EventKind::ReplayIterBegin
+                | EventKind::ReplayIterEnd => {}
             }
         }
         // Close any open interval at the trace end.

@@ -8,8 +8,8 @@
 
 use nanotask_core::{Deps, Runtime, SendPtr};
 
-use crate::kernels::{gemm_nt_sub_block, hash_f64, potrf_block, syrk_block, trsm_block};
 use crate::Workload;
+use crate::kernels::{gemm_nt_sub_block, hash_f64, potrf_block, syrk_block, trsm_block};
 
 /// Blocked Cholesky on a tiled SPD matrix.
 pub struct Cholesky {

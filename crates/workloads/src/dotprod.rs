@@ -9,8 +9,8 @@
 
 use nanotask_core::{Deps, RedOp, Runtime, SendPtr};
 
-use crate::kernels::{dot_block, hash_f64};
 use crate::Workload;
+use crate::kernels::{dot_block, hash_f64};
 
 /// Blocked dot product with a task reduction.
 pub struct DotProduct {

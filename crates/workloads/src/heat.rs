@@ -8,10 +8,11 @@
 //! wavefront: consecutive timesteps pipeline diagonally across the grid.
 //! The squared-residual is accumulated through a task reduction.
 
-use nanotask_core::{Deps, RedOp, Runtime, SendPtr};
+use nanotask_core::{Deps, RedOp, Runtime, SendPtr, TaskCtx};
+use nanotask_replay::RunIterative;
 
 use crate::kernels::{gauss_seidel_block, hash_f64};
-use crate::Workload;
+use crate::{IterativeWorkload, Workload};
 
 /// Blocked Gauss–Seidel heat solver.
 pub struct Heat {
@@ -28,25 +29,41 @@ impl Heat {
     /// `scale` multiplies the grid edge (scale 1 ≈ 64 interior cells).
     pub fn new(scale: usize) -> Self {
         let n = 64 * scale.clamp(1, 16);
-        let steps = 3;
-        let grid = Self::initial(n);
-        // Serial reference: same sweep order as the task version's
-        // dependency order (row-major blocks, Gauss–Seidel in-place).
-        let mut expected_grid = grid.clone();
-        let mut expected_residual = 0.0;
-        let stride = n + 2;
-        for _ in 0..steps {
-            expected_residual += unsafe {
-                gauss_seidel_block(expected_grid.as_mut_ptr().add(stride + 1), n, n, stride)
-            };
-        }
-        Self {
+        let mut me = Self {
             n,
-            steps,
-            grid,
+            steps: 3,
+            grid: Self::initial(n),
             residual: Box::new(0.0),
-            expected_grid,
-            expected_residual,
+            expected_grid: vec![],
+            expected_residual: 0.0,
+        };
+        me.recompute_reference();
+        me
+    }
+
+    /// Change the timestep count (benchmarking knob; more steps amortize
+    /// the replay subsystem's record iteration further).
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = steps.max(1);
+        self.recompute_reference();
+        self
+    }
+
+    /// Serial reference: same sweep order as the task version's
+    /// dependency order (row-major blocks, Gauss–Seidel in-place).
+    fn recompute_reference(&mut self) {
+        let stride = self.n + 2;
+        self.expected_grid = Self::initial(self.n);
+        self.expected_residual = 0.0;
+        for _ in 0..self.steps {
+            self.expected_residual += unsafe {
+                gauss_seidel_block(
+                    self.expected_grid.as_mut_ptr().add(stride + 1),
+                    self.n,
+                    self.n,
+                    stride,
+                )
+            };
         }
     }
 
@@ -61,6 +78,48 @@ impl Heat {
             g[r * stride] = hash_f64(r);
         }
         g
+    }
+}
+
+/// Spawn one Gauss–Seidel timestep: one task per block with
+/// `inout(B[i][j]) in(neighbours) reduction(residual)`. Shared between
+/// the pipelined driver ([`Workload::run`]) and the record/replay
+/// driver ([`IterativeWorkload::run_replay`]).
+fn spawn_timestep(
+    ctx: &TaskCtx,
+    g: SendPtr<f64>,
+    res: SendPtr<f64>,
+    bs: usize,
+    nb: usize,
+    stride: usize,
+) {
+    // Representative address of block (bi, bj): its first cell.
+    let rep = |bi: usize, bj: usize| unsafe { g.add((1 + bi * bs) * stride + 1 + bj * bs) };
+    for bi in 0..nb {
+        for bj in 0..nb {
+            let me = rep(bi, bj);
+            let mut deps =
+                Deps::new()
+                    .readwrite_addr(me.addr())
+                    .reduce_addr(res.addr(), 8, RedOp::SumF64);
+            if bi > 0 {
+                deps = deps.read_addr(rep(bi - 1, bj).addr());
+            }
+            if bi + 1 < nb {
+                deps = deps.read_addr(rep(bi + 1, bj).addr());
+            }
+            if bj > 0 {
+                deps = deps.read_addr(rep(bi, bj - 1).addr());
+            }
+            if bj + 1 < nb {
+                deps = deps.read_addr(rep(bi, bj + 1).addr());
+            }
+            ctx.spawn_labeled("gs", deps, move |c| unsafe {
+                let r = gauss_seidel_block(me.get(), bs, bs, stride);
+                let slot = c.red_slot(&*(res.addr() as *const f64));
+                *slot += r;
+            });
+        }
     }
 }
 
@@ -91,36 +150,8 @@ impl Workload for Heat {
         let g = SendPtr::new(self.grid.as_mut_ptr());
         let res = SendPtr::new(&mut *self.residual as *mut f64);
         rt.run(move |ctx| {
-            // Representative address of block (bi, bj): its first cell.
-            let rep = |bi: usize, bj: usize| unsafe {
-                g.add((1 + bi * bs) * stride + 1 + bj * bs)
-            };
             for _ in 0..steps {
-                for bi in 0..nb {
-                    for bj in 0..nb {
-                        let me = rep(bi, bj);
-                        let mut deps = Deps::new()
-                            .readwrite_addr(me.addr())
-                            .reduce_addr(res.addr(), 8, RedOp::SumF64);
-                        if bi > 0 {
-                            deps = deps.read_addr(rep(bi - 1, bj).addr());
-                        }
-                        if bi + 1 < nb {
-                            deps = deps.read_addr(rep(bi + 1, bj).addr());
-                        }
-                        if bj > 0 {
-                            deps = deps.read_addr(rep(bi, bj - 1).addr());
-                        }
-                        if bj + 1 < nb {
-                            deps = deps.read_addr(rep(bi, bj + 1).addr());
-                        }
-                        ctx.spawn_labeled("gs", deps, move |c| unsafe {
-                            let r = gauss_seidel_block(me.get(), bs, bs, stride);
-                            let slot = c.red_slot(&*(res.addr() as *const f64));
-                            *slot += r;
-                        });
-                    }
-                }
+                spawn_timestep(ctx, g, res, bs, nb, stride);
             }
         });
         // 6 flops per cell per sweep (4 adds, mul, diff) + residual.
@@ -148,10 +179,61 @@ impl Workload for Heat {
     }
 }
 
+impl IterativeWorkload for Heat {
+    fn iterations(&self) -> usize {
+        self.steps
+    }
+
+    fn set_iterations(&mut self, iters: usize) {
+        self.steps = iters.max(1);
+        self.recompute_reference();
+    }
+
+    fn run_replay(&mut self, rt: &Runtime, bs: usize) -> u64 {
+        let bs = bs.clamp(1, self.n);
+        assert_eq!(self.n % bs, 0);
+        self.grid = Self::initial(self.n);
+        *self.residual = 0.0;
+        let n = self.n;
+        let nb = n / bs;
+        let stride = n + 2;
+        let g = SendPtr::new(self.grid.as_mut_ptr());
+        let res = SendPtr::new(&mut *self.residual as *mut f64);
+        // One iteration = one timestep: recorded once, replayed steps-1
+        // times. Unlike `run`, timesteps do not pipeline — the win is
+        // zero dependency-system work per replayed step.
+        rt.run_iterative(self.steps, move |ctx| {
+            spawn_timestep(ctx, g, res, bs, nb, stride);
+        });
+        (8 * self.n * self.n * self.steps) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use nanotask_core::RuntimeConfig;
+
+    #[test]
+    fn replay_matches_serial_sweep_at_all_block_sizes() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3));
+        let mut w = Heat::new(1);
+        for bs in w.block_sizes() {
+            w.run_replay(&rt, bs);
+            w.verify().unwrap_or_else(|e| panic!("replay bs={bs}: {e}"));
+        }
+    }
+
+    #[test]
+    fn replay_with_more_steps_still_verifies() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3));
+        let mut w = Heat::new(1).with_steps(7);
+        w.run_replay(&rt, 16);
+        w.verify().unwrap();
+        // And the normal driver agrees on the same step count.
+        w.run(&rt, 16);
+        w.verify().unwrap();
+    }
 
     #[test]
     fn matches_serial_sweep_at_all_block_sizes() {

@@ -116,8 +116,7 @@ pub unsafe fn gauss_seidel_block(base: *mut f64, rows: usize, cols: usize, strid
             for c in 0..cols {
                 let p = row.add(c);
                 let old = *p;
-                let new = 0.25
-                    * (*p.offset(-1) + *p.add(1) + *p.sub(stride) + *p.add(stride));
+                let new = 0.25 * (*p.offset(-1) + *p.add(1) + *p.sub(stride) + *p.add(stride));
                 *p = new;
                 let d = new - old;
                 residual += d * d;

@@ -65,6 +65,26 @@ pub trait Workload {
     fn verify(&self) -> Result<(), String>;
 }
 
+/// A workload whose timesteps spawn an identical task graph, so it can
+/// be driven through the record & replay subsystem
+/// ([`nanotask_replay::RunIterative`]): the dependency graph is captured
+/// on the first timestep and replayed with plain atomic in-degree
+/// counters on the rest, eliminating per-iteration dependency-system
+/// cost. `run_replay` must produce the same result `verify` expects
+/// from [`Workload::run`].
+pub trait IterativeWorkload: Workload {
+    /// Number of timesteps/iterations one run performs.
+    fn iterations(&self) -> usize;
+
+    /// Change the iteration count (recomputes the serial reference so
+    /// [`Workload::verify`] keeps working).
+    fn set_iterations(&mut self, iters: usize);
+
+    /// Run once at block size `bs` via `Runtime::run_iterative`; returns
+    /// the same abstract-operation count as [`Workload::run`].
+    fn run_replay(&mut self, rt: &Runtime, bs: usize) -> u64;
+}
+
 /// All eight §6.1 workloads at a given problem scale (1 = tiny CI scale,
 /// larger = closer to paper scale).
 pub fn all_workloads(scale: usize) -> Vec<Box<dyn Workload>> {
@@ -78,6 +98,26 @@ pub fn all_workloads(scale: usize) -> Vec<Box<dyn Workload>> {
         Box::new(nbody::NBody::new(scale)),
         Box::new(cholesky::Cholesky::new(scale)),
     ]
+}
+
+/// The replay-capable workloads (those with per-timestep-identical
+/// graphs) at a given problem scale.
+pub fn iterative_workloads(scale: usize) -> Vec<Box<dyn IterativeWorkload>> {
+    vec![
+        Box::new(heat::Heat::new(scale)),
+        Box::new(hpccg::Hpccg::new(scale)),
+        Box::new(nbody::NBody::new(scale)),
+    ]
+}
+
+/// Construct a replay-capable workload by its paper name.
+pub fn iterative_workload_by_name(name: &str, scale: usize) -> Option<Box<dyn IterativeWorkload>> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "heat" | "gauss-seidel" => Box::new(heat::Heat::new(scale)),
+        "hpccg" => Box::new(hpccg::Hpccg::new(scale)),
+        "nbody" => Box::new(nbody::NBody::new(scale)),
+        _ => return None,
+    })
 }
 
 /// Construct a workload by its paper name.
@@ -126,7 +166,8 @@ mod tests {
             let work = w.run(&rt, bs);
             assert!(work > 0, "{} reports work", w.name());
             assert!(w.ops_per_task(bs) > 0);
-            w.verify().unwrap_or_else(|e| panic!("{} verify: {e}", w.name()));
+            w.verify()
+                .unwrap_or_else(|e| panic!("{} verify: {e}", w.name()));
         }
     }
 }

@@ -16,8 +16,8 @@
 
 use nanotask_core::{Deps, RedOp, Runtime, SendPtr};
 
-use crate::kernels::hash_f64;
 use crate::Workload;
+use crate::kernels::hash_f64;
 
 const DT0: f64 = 1e-3;
 

@@ -9,8 +9,8 @@
 
 use nanotask_core::{Deps, Runtime, SendPtr};
 
-use crate::kernels::{gemm_block, hash_f64};
 use crate::Workload;
+use crate::kernels::{gemm_block, hash_f64};
 
 /// Blocked `C = A·B` on tiled square matrices.
 pub struct Matmul {

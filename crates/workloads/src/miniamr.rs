@@ -12,8 +12,8 @@
 
 use nanotask_core::{Deps, RedOp, Runtime, SendPtr};
 
-use crate::kernels::hash_f64;
 use crate::Workload;
+use crate::kernels::hash_f64;
 
 /// Maximum refinement level of the proxy.
 const MAX_LEVEL: u8 = 2;
@@ -131,9 +131,11 @@ impl Workload for MiniAmr {
                     // Ring-neighbour reads: the AMR halo exchange.
                     let left = unsafe { st.add(((b + nblocks - 1) % nblocks) * max_bs) };
                     let right = unsafe { st.add(((b + 1) % nblocks) * max_bs) };
-                    let mut deps = Deps::new()
-                        .readwrite_addr(blk.addr())
-                        .reduce_addr(ck.addr(), 8, RedOp::SumF64);
+                    let mut deps = Deps::new().readwrite_addr(blk.addr()).reduce_addr(
+                        ck.addr(),
+                        8,
+                        RedOp::SumF64,
+                    );
                     if left.addr() != blk.addr() {
                         deps = deps.read_addr(left.addr());
                     }
@@ -213,9 +215,8 @@ mod tests {
     fn irregular_task_sizes_per_phase() {
         let w = MiniAmr::new(1);
         let _ = &w;
-        let sizes: std::collections::HashSet<usize> = (0..16)
-            .map(|b| cells_at(256, level_of(b, 0, 16)))
-            .collect();
+        let sizes: std::collections::HashSet<usize> =
+            (0..16).map(|b| cells_at(256, level_of(b, 0, 16))).collect();
         assert!(sizes.len() > 1, "mixed task sizes within a phase");
     }
 }

@@ -8,8 +8,8 @@
 
 use std::time::Instant;
 
-use nanotask::workloads::cholesky::Cholesky;
 use nanotask::workloads::Workload;
+use nanotask::workloads::cholesky::Cholesky;
 use nanotask::{Platform, Runtime, RuntimeConfig};
 
 fn main() {
@@ -18,8 +18,15 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2usize);
-    println!("blocked Cholesky, scale {scale} ({} x {} matrix), {workers} workers", 64 * scale, 64 * scale);
-    println!("{:<32} {:>10} {:>12} {:>10}", "configuration", "block", "seconds", "verified");
+    println!(
+        "blocked Cholesky, scale {scale} ({} x {} matrix), {workers} workers",
+        64 * scale,
+        64 * scale
+    );
+    println!(
+        "{:<32} {:>10} {:>12} {:>10}",
+        "configuration", "block", "seconds", "verified"
+    );
 
     for cfg in RuntimeConfig::ablations() {
         let label = cfg.label;

@@ -10,8 +10,8 @@ use std::time::Instant;
 
 use nanotask::runtime_core::sched::LockKind;
 use nanotask::trace::timeline::Timeline;
-use nanotask::workloads::miniamr::MiniAmr;
 use nanotask::workloads::Workload;
+use nanotask::workloads::miniamr::MiniAmr;
 use nanotask::{Platform, Runtime, RuntimeConfig, SchedKind};
 
 fn main() {

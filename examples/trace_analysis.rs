@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use nanotask::trace::noise::NoiseConfig;
 use nanotask::trace::timeline::Timeline;
-use nanotask::trace::{ctf, EventKind};
+use nanotask::trace::{EventKind, ctf};
 use nanotask::{Deps, Runtime, RuntimeConfig};
 
 fn main() {
@@ -43,7 +43,11 @@ fn main() {
     });
 
     let trace = rt.trace();
-    println!("captured {} events on {} cores", trace.events().len(), trace.ncores());
+    println!(
+        "captured {} events on {} cores",
+        trace.events().len(),
+        trace.ncores()
+    );
 
     // Round-trip through the CTF-lite binary format.
     let path = std::env::temp_dir().join("nanotask-example.ntcf");
@@ -51,7 +55,10 @@ fn main() {
     let loaded = ctf::load(&path).expect("load trace");
     assert_eq!(loaded.events().len(), trace.events().len());
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-    println!("CTF-lite file: {} ({bytes} bytes, 24 B/event + header)", path.display());
+    println!(
+        "CTF-lite file: {} ({bytes} bytes, 24 B/event + header)",
+        path.display()
+    );
 
     // Event-kind census.
     let mut counts = std::collections::BTreeMap::new();
@@ -82,7 +89,9 @@ fn main() {
         .filter(|e| e.kind == EventKind::KernelInterruptBegin)
         .count();
     println!("\nsynthetic kernel interrupts injected: {interrupts}");
-    println!("\nASCII timeline (R=running C=creating s=scheduler .=starving !=interrupt w=taskwait):");
+    println!(
+        "\nASCII timeline (R=running C=creating s=scheduler .=starving !=interrupt w=taskwait):"
+    );
     print!("{}", tl.render_ascii(100));
     std::fs::remove_file(&path).ok();
 }

@@ -35,16 +35,18 @@
 //! assert_eq!(unsafe { *total }, 8);
 //! ```
 
-/// Lock designs: Ticket, PTLock, MCS, TWA, DTLock (§3.2–3.3).
-pub use nanotask_locks as locks;
-/// Bounded wait-free SPSC queue (§3.1).
-pub use nanotask_spsc as spsc;
 /// Pooled / system / serialized allocators (§4).
 pub use nanotask_alloc as alloc;
-/// CTF-lite tracing, timelines, OS-noise injection (§5).
-pub use nanotask_trace as trace;
 /// The task runtime: dependencies, schedulers, workers (§2–3).
 pub use nanotask_core as runtime_core;
+/// Lock designs: Ticket, PTLock, MCS, TWA, DTLock (§3.2–3.3).
+pub use nanotask_locks as locks;
+/// Task-graph record & replay for iterative applications.
+pub use nanotask_replay as replay;
+/// Bounded wait-free SPSC queue (§3.1).
+pub use nanotask_spsc as spsc;
+/// CTF-lite tracing, timelines, OS-noise injection (§5).
+pub use nanotask_trace as trace;
 /// The §6.1 benchmark applications.
 pub use nanotask_workloads as workloads;
 
@@ -52,6 +54,7 @@ pub use nanotask_core::{
     Deps, DepsKind, Platform, RedOp, Runtime, RuntimeConfig, RuntimeStats, SchedKind, SendPtr,
     TaskCtx,
 };
+pub use nanotask_replay::{ReplayReport, RunIterative};
 
 #[cfg(test)]
 mod tests {

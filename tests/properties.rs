@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 
 use nanotask::{Deps, DepsKind, RedOp, Runtime, RuntimeConfig, SendPtr};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const ADDRS: usize = 4;
 

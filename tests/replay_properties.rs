@@ -1,0 +1,164 @@
+//! Property-based tests for the record & replay subsystem: for *random
+//! task programs* run through `Runtime::run_iterative`,
+//!
+//! 1. the final memory must equal a serial execution of the program
+//!    repeated once per iteration (serial equivalence, every iteration —
+//!    including the replayed ones that bypass the dependency system);
+//! 2. every replayed execution order must respect all recorded edges:
+//!    for each `(a, b)` edge of the frozen graph, task `a` finishes
+//!    before task `b` starts. Checked under all three scheduler kinds.
+
+use proptest::prelude::*;
+
+use nanotask::{Deps, RunIterative, Runtime, RuntimeConfig, SchedKind, SendPtr};
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const ADDRS: usize = 4;
+
+/// One randomly-generated access.
+#[derive(Debug, Clone, Copy)]
+enum Acc {
+    Read(usize),
+    Write(usize),
+    ReadWrite(usize),
+}
+
+impl Acc {
+    fn addr_idx(&self) -> usize {
+        match *self {
+            Acc::Read(a) | Acc::Write(a) | Acc::ReadWrite(a) => a,
+        }
+    }
+}
+
+fn acc_strategy() -> impl Strategy<Value = Acc> {
+    (0usize..ADDRS, 0u8..3).prop_map(|(a, m)| match m {
+        0 => Acc::Read(a),
+        1 => Acc::Write(a),
+        _ => Acc::ReadWrite(a),
+    })
+}
+
+/// A task: up to 2 accesses (distinct addresses) + a seed for its update.
+fn task_strategy() -> impl Strategy<Value = (Vec<Acc>, u64)> {
+    (proptest::collection::vec(acc_strategy(), 1..3), 1u64..1000).prop_map(|(mut accs, seed)| {
+        accs.dedup_by_key(|a| a.addr_idx());
+        (accs, seed)
+    })
+}
+
+/// Deterministic update applied by writers.
+fn mix(old: u64, seed: u64) -> u64 {
+    old.wrapping_mul(6364136223846793005)
+        .wrapping_add(seed)
+        .rotate_left(13)
+}
+
+/// Serial execution of `iters` repetitions of the program.
+fn serial(program: &[(Vec<Acc>, u64)], iters: usize) -> [u64; ADDRS] {
+    let mut mem = [0u64; ADDRS];
+    for _ in 0..iters {
+        for (accs, seed) in program {
+            for acc in accs {
+                if let Acc::Write(a) | Acc::ReadWrite(a) = *acc {
+                    mem[a] = mix(mem[a], *seed);
+                }
+            }
+        }
+    }
+    mem
+}
+
+/// Run `iters` iterations via record & replay and check both properties.
+fn check(program: Vec<(Vec<Acc>, u64)>, sched: SchedKind, iters: usize) {
+    let n = program.len();
+    let want = serial(&program, iters);
+    let rt = Runtime::new(RuntimeConfig::optimized().scheduler(sched).workers(3));
+    let mut mem = Box::new([0u64; ADDRS]);
+    // Start/end stamps per task, drawn from one global logical clock;
+    // overwritten each iteration, so after the run they describe the
+    // final (replayed) iteration.
+    let clock = Arc::new(AtomicU64::new(1));
+    let stamps: Arc<Vec<(AtomicU64, AtomicU64)>> = Arc::new(
+        (0..n)
+            .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+            .collect(),
+    );
+    let report = {
+        let base = SendPtr::new(mem.as_mut_ptr());
+        let program = program.clone();
+        let clock = Arc::clone(&clock);
+        let stamps = Arc::clone(&stamps);
+        rt.run_iterative(iters, move |ctx| {
+            for (ti, (accs, seed)) in program.iter().enumerate() {
+                let mut d = Deps::new();
+                for acc in accs {
+                    let addr = unsafe { base.add(acc.addr_idx()).addr() };
+                    d = match acc {
+                        Acc::Read(_) => d.read_addr(addr),
+                        Acc::Write(_) => d.write_addr(addr),
+                        Acc::ReadWrite(_) => d.readwrite_addr(addr),
+                    };
+                }
+                let accs = accs.clone();
+                let seed = *seed;
+                let clock = Arc::clone(&clock);
+                let stamps = Arc::clone(&stamps);
+                ctx.spawn(d, move |_| {
+                    stamps[ti]
+                        .0
+                        .store(clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                    for acc in &accs {
+                        if let Acc::Write(a) | Acc::ReadWrite(a) = *acc {
+                            let p = unsafe { base.add(a).get() };
+                            unsafe { *p = mix(*p, seed) };
+                        }
+                    }
+                    stamps[ti]
+                        .1
+                        .store(clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                });
+            }
+        })
+    };
+    assert_eq!(*mem, want, "final memory differs from serial x{iters}");
+    assert_eq!(report.iterations, iters);
+    assert_eq!(report.diverged, 0, "deterministic body must not diverge");
+    assert_eq!(
+        report.replayed,
+        iters - 1,
+        "all but the record iteration replay"
+    );
+    assert_eq!(report.tasks, n);
+    // Edge order: every recorded edge (a, b) means a finished before b
+    // started — in the final, replayed iteration.
+    for &(a, b) in &report.edge_list {
+        let end_a = stamps[a as usize].1.load(Ordering::Relaxed);
+        let start_b = stamps[b as usize].0.load(Ordering::Relaxed);
+        assert!(end_a > 0 && start_b > 0, "edge endpoints executed");
+        assert!(
+            end_a < start_b,
+            "edge ({a}, {b}) violated: end[{a}]={end_a} >= start[{b}]={start_b} (sched {sched:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn replay_respects_edges_delegation(program in proptest::collection::vec(task_strategy(), 1..30)) {
+        check(program, SchedKind::Delegation, 4);
+    }
+
+    #[test]
+    fn replay_respects_edges_central(program in proptest::collection::vec(task_strategy(), 1..30)) {
+        check(program, SchedKind::Central(nanotask::runtime_core::sched::LockKind::PtLock), 4);
+    }
+
+    #[test]
+    fn replay_respects_edges_worksteal(program in proptest::collection::vec(task_strategy(), 1..30)) {
+        check(program, SchedKind::WorkSteal(nanotask::runtime_core::sched::WsVariant::LifoLocal), 4);
+    }
+}

@@ -5,8 +5,8 @@
 
 use nanotask::runtime_core::sched::LockKind;
 use nanotask::{Deps, Runtime, RuntimeConfig, SchedKind, SendPtr};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 #[test]
 fn ten_thousand_tiny_independent_tasks() {

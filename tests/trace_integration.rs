@@ -4,7 +4,7 @@
 
 use nanotask::trace::noise::NoiseConfig;
 use nanotask::trace::timeline::Timeline;
-use nanotask::trace::{ctf, EventKind};
+use nanotask::trace::{EventKind, ctf};
 use nanotask::workloads::workload_by_name;
 use nanotask::{Deps, Runtime, RuntimeConfig};
 use std::time::Duration;
@@ -16,8 +16,16 @@ fn workload_trace_is_well_formed() {
     w.run(&rt, w.block_sizes()[0]);
     w.verify().unwrap();
     let trace = rt.trace();
-    let starts = trace.events().iter().filter(|e| e.kind == EventKind::TaskStart).count();
-    let ends = trace.events().iter().filter(|e| e.kind == EventKind::TaskEnd).count();
+    let starts = trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::TaskStart)
+        .count();
+    let ends = trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::TaskEnd)
+        .count();
     assert_eq!(starts, ends, "every started task ends");
     assert!(starts > 64, "miniAMR spawns many tasks, saw {starts}");
     // Creation happens only on the creator (root runs on worker 0).
@@ -103,7 +111,10 @@ fn noise_injection_shows_up_in_workload_trace() {
         .iter()
         .filter(|e| e.kind == EventKind::KernelInterruptBegin)
         .count();
-    assert!(begins > 0, "synthetic interrupts should fire during the run");
+    assert!(
+        begins > 0,
+        "synthetic interrupts should fire during the run"
+    );
     let tl = Timeline::build(&trace);
     assert!(tl.core_stats(0).interrupted_ns > 0);
 }

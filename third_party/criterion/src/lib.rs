@@ -1,0 +1,176 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This build environment has no crates.io access, so the workspace
+//! vendors the subset its benches use: [`Criterion::bench_function`]
+//! with [`Bencher::iter`] / [`Bencher::iter_custom`], plus the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! simple calibrated loop (no statistics, no HTML reports): each bench
+//! prints `name ... median-ish ns/iter` to stdout.
+//!
+//! Set `CRITERION_TARGET_MS` (default 50) to change per-bench measure
+//! time, e.g. `CRITERION_TARGET_MS=5` for smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// Per-instance measurement time; `None` falls back to
+    /// `CRITERION_TARGET_MS` (default 50 ms).
+    target: Option<Duration>,
+}
+
+impl Criterion {
+    /// Builder: number of samples (ignored — one calibrated sample).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Builder: how long to measure each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.target = Some(d);
+        self
+    }
+
+    /// Builder: warm-up time (ignored — calibration warms up).
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // The env knob wins over the configured measurement time so CI
+        // and manual smoke runs can cap bench duration.
+        let target = env_target_duration()
+            .or(self.target)
+            .unwrap_or(Duration::from_millis(50));
+        let mut b = Bencher {
+            target,
+            measured: Duration::ZERO,
+            iters_done: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters_done > 0 {
+            b.measured.as_nanos() as f64 / b.iters_done as f64
+        } else {
+            0.0
+        };
+        println!("bench: {:<60} {:>14.1} ns/iter", name.as_ref(), per_iter);
+        self
+    }
+}
+
+fn env_target_duration() -> Option<Duration> {
+    std::env::var("CRITERION_TARGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|ms| Duration::from_millis(ms.max(1)))
+}
+
+/// Timing context passed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    target: Duration,
+    measured: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Time `f` over enough iterations to fill the target duration.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up & calibration: find an iteration count that runs for
+        // roughly the target duration, doubling from 1.
+        let target = self.target;
+        let mut n: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= target || n >= 1 << 30 {
+                self.measured = dt;
+                self.iters_done = n;
+                return;
+            }
+            // Aim directly for the target based on the observed rate.
+            let per = dt.as_nanos().max(1) as u64 / n.max(1);
+            n = (target.as_nanos() as u64 / per.max(1)).clamp(n * 2, 1 << 30);
+        }
+    }
+
+    /// Like `iter`, but the closure does its own timing over `iters`
+    /// iterations and returns the elapsed time.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        let target = self.target;
+        let mut n: u64 = 1;
+        loop {
+            let dt = f(n);
+            if dt >= target || n >= 1 << 30 {
+                self.measured = dt;
+                self.iters_done = n;
+                return;
+            }
+            let per = dt.as_nanos().max(1) as u64 / n.max(1);
+            n = (target.as_nanos() as u64 / per.max(1)).clamp(n * 2, 1 << 30);
+        }
+    }
+}
+
+/// Group benchmark functions under one runner function. Supports both
+/// the simple form and the `name/config/targets` struct form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($fun:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($fun(&mut c);)+
+        }
+    };
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($fun(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_nonzero() {
+        // Keep the test fast regardless of the env override.
+        unsafe { std::env::set_var("CRITERION_TARGET_MS", "1") };
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut ran = 0u64;
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                ran += iters;
+                let t0 = std::time::Instant::now();
+                for _ in 0..iters {
+                    black_box(());
+                }
+                t0.elapsed().max(std::time::Duration::from_millis(2))
+            })
+        });
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This build environment has no crates.io access, so the workspace
+//! vendors the proptest API subset its tests use: the [`Strategy`] trait
+//! (ranges, tuples, `prop_map`, [`Just`], weighted unions, vectors,
+//! options, `any::<T>()`), the [`proptest!`] test macro with
+//! `#![proptest_config(..)]` support, and `prop_assert!`/
+//! `prop_assert_eq!`. Inputs are generated from a deterministic
+//! per-test-name seed (splitmix64), so failures reproduce across runs.
+//! **No shrinking** is performed: a failing case reports the case index
+//! and panics with the assertion message.
+//!
+//! Set `PROPTEST_CASES` to override the number of cases per test.
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Strategy producing arbitrary values of `T` (see [`strategy::Arbitrary`]).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(core::marker::PhantomData)
+}
+
+/// The `proptest!` test-definition macro.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn adds(a in 0u32..100, b in 0u32..100) {
+///         prop_assert!(a + b >= a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __cases = $crate::test_runner::effective_cases(__config.cases);
+                let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                // Evaluate each strategy expression exactly once.
+                let ($($arg,)+) = ($($strat,)+);
+                for __case in 0..__cases {
+                    let ($($arg,)+) = (
+                        $($crate::strategy::Strategy::generate(&$arg, &mut __rng),)+
+                    );
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest case {}/{} of {} failed: {}",
+                            __case + 1, __cases, stringify!($name), e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assert within a property; on failure the case fails with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(10usize..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let b = crate::Strategy::generate(&(0u8..3), &mut rng);
+            assert!(b < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        let s = crate::collection::vec(0u64..1000, 1..50);
+        assert_eq!(
+            crate::Strategy::generate(&s, &mut a),
+            crate::Strategy::generate(&s, &mut b)
+        );
+    }
+
+    #[test]
+    fn map_and_oneof_compose() {
+        let s = prop_oneof![
+            3 => (0u32..10).prop_map(|v| v as u64),
+            1 => Just(99u64),
+        ];
+        let mut rng = crate::TestRng::from_name("oneof");
+        let mut saw_just = false;
+        let mut saw_range = false;
+        for _ in 0..200 {
+            match crate::Strategy::generate(&s, &mut rng) {
+                99 => saw_just = true,
+                v if v < 10 => saw_range = true,
+                v => panic!("out of range: {v}"),
+            }
+        }
+        assert!(saw_just && saw_range);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0usize..5, b in any::<bool>(), v in crate::collection::vec(0u8..4, 0..6)) {
+            prop_assert!(a < 5);
+            let _: bool = b;
+            prop_assert!(v.len() < 6);
+            for x in v {
+                prop_assert!(x < 4);
+            }
+        }
+
+        #[test]
+        fn option_of_generates_both(o in crate::option::of(0u16..9)) {
+            if let Some(v) = o {
+                prop_assert!(v < 9);
+            }
+        }
+    }
+}

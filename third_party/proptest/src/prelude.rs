@@ -1,0 +1,6 @@
+//! The usual `use proptest::prelude::*;` surface.
+
+pub use crate::any;
+pub use crate::strategy::{Arbitrary, BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
