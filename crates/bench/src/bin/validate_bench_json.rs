@@ -1,0 +1,75 @@
+//! CI smoke validator: parse every `BENCH_*.json` in a directory with
+//! the crate's own JSON parser and check the common shape each figure
+//! harness emits (an object with a `"figure"` string and a `"rows"`
+//! array). Exits non-zero — naming every bad file — if anything fails.
+//!
+//! Usage: `validate_bench_json [dir]` (default: the current directory,
+//! i.e. wherever the harnesses just wrote their results).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use nanotask_bench::json::{Json, parse};
+
+fn check_file(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let doc = parse(&text)?;
+    let Json::Obj(pairs) = &doc else {
+        return Err("top level is not an object".into());
+    };
+    let get = |k: &str| pairs.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+    match get("figure") {
+        Some(Json::Str(_)) => {}
+        _ => return Err("missing/invalid \"figure\" key".into()),
+    }
+    match get("rows") {
+        Some(Json::Arr(rows)) => {
+            if !rows.iter().all(|r| matches!(r, Json::Obj(_))) {
+                return Err("\"rows\" contains a non-object entry".into());
+            }
+        }
+        _ => return Err("missing/invalid \"rows\" key".into()),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    let mut seen = 0usize;
+    let mut bad = 0usize;
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut names: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    names.sort();
+    for path in names {
+        seen += 1;
+        match check_file(&path) {
+            Ok(()) => println!("ok   {}", path.display()),
+            Err(e) => {
+                bad += 1;
+                eprintln!("FAIL {}: {e}", path.display());
+            }
+        }
+    }
+    println!("validated {seen} BENCH_*.json file(s), {bad} failure(s)");
+    if seen == 0 {
+        eprintln!("no BENCH_*.json files found in {dir}");
+        return ExitCode::FAILURE;
+    }
+    if bad > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -246,9 +246,11 @@ unsafe impl DependencySystem for LockingDeps {
                 hooks.task_free(task);
             }
         }
-        for r in to_ready {
-            hooks.task_ready(r);
-        }
+        // Hand every successor this completion released to the runtime as
+        // one batch: a single scheduler operation (and one chance for the
+        // worker to keep an immediate successor) instead of per-task
+        // `add_ready` round-trips.
+        hooks.task_ready_batch(&to_ready);
     }
 
     fn kind(&self) -> DepsKind {

@@ -28,17 +28,18 @@ impl EdgeKind {
     }
 }
 
-/// One recorded dependency edge.
-#[derive(Debug, Clone)]
+/// One recorded dependency edge. Labels are the tasks' `&'static str`
+/// labels — recording an edge allocates nothing beyond the `Vec` slot.
+#[derive(Debug, Clone, Copy)]
 pub struct GraphEdge {
     /// Source task.
     pub from: TaskId,
     /// Source task label.
-    pub from_label: String,
+    pub from_label: &'static str,
     /// Destination task.
     pub to: TaskId,
     /// Destination task label.
-    pub to_label: String,
+    pub to_label: &'static str,
     /// Address the edge is about.
     pub addr: usize,
     /// Successor or child.
@@ -50,7 +51,7 @@ pub fn to_dot(edges: &[GraphEdge]) -> String {
     let mut s = String::from("digraph deps {\n  rankdir=TB;\n");
     let mut nodes: Vec<(TaskId, &str)> = Vec::new();
     for e in edges {
-        for (id, label) in [(e.from, e.from_label.as_str()), (e.to, e.to_label.as_str())] {
+        for (id, label) in [(e.from, e.from_label), (e.to, e.to_label)] {
             if !nodes.iter().any(|&(n, _)| n == id) {
                 nodes.push((id, label));
             }
@@ -98,17 +99,17 @@ mod tests {
         vec![
             GraphEdge {
                 from: 1,
-                from_label: "a".into(),
+                from_label: "a",
                 to: 2,
-                to_label: "b".into(),
+                to_label: "b",
                 addr: 0x10,
                 kind: EdgeKind::Successor,
             },
             GraphEdge {
                 from: 1,
-                from_label: "a".into(),
+                from_label: "a",
                 to: 3,
-                to_label: "c".into(),
+                to_label: "c",
                 addr: 0x10,
                 kind: EdgeKind::Child,
             },

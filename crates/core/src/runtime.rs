@@ -122,6 +122,25 @@ pub struct RuntimeConfig {
     pub record_graph: bool,
     /// Synthetic OS-noise injection (Figure 11).
     pub noise: Option<NoiseConfig>,
+    /// Immediate-successor execution: a completing task keeps one of the
+    /// successors it released as its worker's next task, run inline with
+    /// no queue and no lock (the zero-queue hot path; Nanos6 ships the
+    /// same fast path). Off by default — enabling it trades strict
+    /// global queue ordering (and, under [`Policy::Priority`], strict
+    /// priority order) for a shorter per-task critical path.
+    pub inline_successors: bool,
+    /// Bound on consecutive inline executions before the worker must go
+    /// back through the scheduler — preserves fairness and guarantees
+    /// taskwait loops re-check their condition at bounded intervals.
+    pub inline_max_depth: usize,
+    /// Batched release: all successors released by one task completion
+    /// are handed to the scheduler as a single slice (one lock
+    /// acquisition / buffer pass / trace record). Off by default.
+    pub batched_release: bool,
+    /// Per-worker pop-cache capacity of the delegation scheduler: one
+    /// delegation-lock acquisition pre-pops up to this many extra tasks
+    /// for the acquiring worker. 0 (default) disables the cache.
+    pub pop_cache: usize,
     /// Name shown by benchmark harnesses.
     pub label: &'static str,
 }
@@ -147,6 +166,10 @@ impl RuntimeConfig {
             trace: false,
             record_graph: false,
             noise: None,
+            inline_successors: false,
+            inline_max_depth: 64,
+            batched_release: false,
+            pop_cache: 0,
             label: "optimized",
         }
     }
@@ -274,6 +297,42 @@ impl RuntimeConfig {
         self
     }
 
+    /// Toggle the whole zero-queue fast path at once: immediate-successor
+    /// inline execution + batched ready-task release + a small per-worker
+    /// pop cache. This is the knob the `fig13_inline_succ` ablation
+    /// flips; everything defaults to off.
+    pub fn fast_path(mut self, on: bool) -> Self {
+        self.inline_successors = on;
+        self.batched_release = on;
+        self.pop_cache = if on { 4 } else { 0 };
+        self
+    }
+
+    /// Toggle immediate-successor inline execution only.
+    pub fn with_inline_successors(mut self, on: bool) -> Self {
+        self.inline_successors = on;
+        self
+    }
+
+    /// Set the inline-chain depth bound (min 1).
+    pub fn with_inline_max_depth(mut self, n: usize) -> Self {
+        self.inline_max_depth = n.max(1);
+        self
+    }
+
+    /// Toggle batched ready-task release only.
+    pub fn with_batched_release(mut self, on: bool) -> Self {
+        self.batched_release = on;
+        self
+    }
+
+    /// Set the delegation scheduler's per-worker pop-cache capacity
+    /// (0 disables).
+    pub fn with_pop_cache(mut self, n: usize) -> Self {
+        self.pop_cache = n;
+        self
+    }
+
     /// The four §6.2 ablation configurations, in paper order.
     pub fn ablations() -> Vec<RuntimeConfig> {
         vec![
@@ -282,6 +341,40 @@ impl RuntimeConfig {
             Self::without_waitfree_deps(),
             Self::without_dtlock(),
         ]
+    }
+}
+
+/// Everything a harness needs to make a per-run performance claim
+/// machine-checkable: the aggregate runtime counters plus the scheduler
+/// operation counters and the zero-queue fast-path counters. Returned by
+/// [`Runtime::run_report`]; counters are cumulative across a runtime's
+/// lifetime (diff two reports to isolate one run).
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Task life-cycle and allocator counters.
+    pub stats: RuntimeStats,
+    /// Scheduler operation counters (adds, batch adds, pops, pop-cache
+    /// hits, lock acquisitions).
+    pub sched: crate::sched::SchedOpStats,
+    /// Task activations that skipped the scheduler queue entirely
+    /// (immediate-successor inline runs).
+    pub inline_runs: u64,
+    /// Longest inline chain observed.
+    pub max_inline_depth: u64,
+}
+
+impl RunReport {
+    /// Fraction of queue-or-inline task activations that bypassed the
+    /// scheduler queue: `inline_runs / (inline_runs + pops)`. The
+    /// `fig13_inline_succ` acceptance check (≥ 0.5 on chain-heavy
+    /// workloads) reads this.
+    pub fn queue_bypass_fraction(&self) -> f64 {
+        let total = self.inline_runs + self.sched.pops;
+        if total == 0 {
+            0.0
+        } else {
+            self.inline_runs as f64 / total as f64
+        }
     }
 }
 
@@ -324,6 +417,11 @@ pub(crate) struct Shared {
     pub tasks_executed: AtomicU64,
     pub tasks_freed: AtomicU64,
     pub live_tasks: AtomicUsize,
+    /// Tasks activated through the immediate-successor fast path (ran
+    /// inline on the releasing worker, never entered the scheduler).
+    pub inline_runs: AtomicU64,
+    /// Longest inline chain observed (≤ `cfg.inline_max_depth`).
+    pub max_inline_depth: AtomicU64,
 }
 
 impl Shared {
@@ -354,11 +452,69 @@ pub(crate) struct WorkerCtx {
     pub id: usize,
     pub shared: Arc<Shared>,
     pub recorder: RefCell<CoreRecorder>,
+    /// Completion-window flag (fast path): while set, dependency-release
+    /// `task_ready` callbacks collect into `pending` instead of entering
+    /// the scheduler one by one.
+    collecting: core::cell::Cell<bool>,
+    /// Body-execution flag (fast path): while set, `release_held` defers
+    /// released tasks into `pending`; they are handed over (or run
+    /// inline) when the executing body's completion window closes.
+    defer_held: core::cell::Cell<bool>,
+    /// Newly-released tasks awaiting one batched scheduler hand-off,
+    /// minus at most one kept as the worker's inline next task.
+    pending: RefCell<Vec<TaskPtr>>,
+    /// Reusable drain buffer `pending` is swapped into during hand-off,
+    /// so the hot path never re-allocates per completion.
+    scratch: RefCell<Vec<TaskPtr>>,
 }
 
 impl WorkerCtx {
+    fn new(id: usize, shared: Arc<Shared>, recorder: CoreRecorder) -> Self {
+        Self {
+            id,
+            shared,
+            recorder: RefCell::new(recorder),
+            collecting: core::cell::Cell::new(false),
+            defer_held: core::cell::Cell::new(false),
+            pending: RefCell::new(Vec::new()),
+            scratch: RefCell::new(Vec::new()),
+        }
+    }
+
     fn record(&self, kind: EventKind, payload: u64) {
         self.recorder.borrow_mut().record(kind, payload);
+    }
+
+    /// Hand `batch` to the scheduler: as one slice when batched release
+    /// is enabled, per task otherwise (so the inline-only ablation
+    /// measures inline execution alone, not hidden batching).
+    fn hand_off(&self, batch: &[TaskPtr]) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut rec = self.recorder.borrow_mut();
+        if self.shared.cfg.batched_release {
+            self.shared
+                .sched
+                .add_ready_batch(batch, self.id, Some(&mut rec));
+        } else {
+            for &t in batch {
+                self.shared.sched.add_ready(t, self.id, Some(&mut rec));
+            }
+        }
+    }
+
+    /// Hand any deferred/collected ready tasks to the scheduler. Called
+    /// before a worker starts waiting (taskwait), so deferred releases
+    /// can never deadlock the waiter against its own buffer.
+    fn flush_pending(&self) {
+        if self.pending.borrow().is_empty() {
+            return;
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        std::mem::swap(&mut *self.pending.borrow_mut(), &mut *scratch);
+        self.hand_off(&scratch);
+        scratch.clear();
     }
 }
 
@@ -369,11 +525,45 @@ struct Hooks<'a> {
 
 unsafe impl DepHooks for Hooks<'_> {
     fn task_ready(&self, task: *mut Task) {
+        if self.w.collecting.get() {
+            // Fast path, completion window: collect instead of queueing.
+            self.w.pending.borrow_mut().push(TaskPtr(task));
+            return;
+        }
         let mut rec = self.w.recorder.borrow_mut();
         self.w
             .shared
             .sched
             .add_ready(TaskPtr(task), self.w.id, Some(&mut rec));
+    }
+
+    fn task_ready_batch(&self, tasks: &[*mut Task]) {
+        if tasks.is_empty() {
+            return;
+        }
+        if self.w.collecting.get() {
+            self.w
+                .pending
+                .borrow_mut()
+                .extend(tasks.iter().map(|&t| TaskPtr(t)));
+            return;
+        }
+        if self.w.shared.cfg.batched_release {
+            // SAFETY: `TaskPtr` is `repr(transparent)` over `*mut Task`.
+            let batch: &[TaskPtr] = unsafe {
+                core::slice::from_raw_parts(tasks.as_ptr() as *const TaskPtr, tasks.len())
+            };
+            let mut rec = self.w.recorder.borrow_mut();
+            self.w
+                .shared
+                .sched
+                .add_ready_batch(batch, self.w.id, Some(&mut rec));
+        } else {
+            // Feature disabled: byte-for-byte the pre-batching behavior.
+            for &t in tasks {
+                self.task_ready(t);
+            }
+        }
     }
 
     fn task_free(&self, task: *mut Task) {
@@ -385,11 +575,12 @@ unsafe impl DepHooks for Hooks<'_> {
             return;
         }
         let (f, t) = unsafe { (&*from, &*to) };
+        // Labels are `&'static str` end to end: no allocation per edge.
         self.w.shared.graph.lock().push(GraphEdge {
             from: f.id,
-            from_label: f.label.to_string(),
+            from_label: f.label,
             to: t.id,
-            to_label: t.label.to_string(),
+            to_label: t.label,
             addr,
             kind: EdgeKind::from_u8(kind),
         });
@@ -572,14 +763,25 @@ impl TaskCtx<'_> {
 
     /// Release a task created by [`TaskCtx::spawn_held`], handing it to
     /// the scheduler. Must be called exactly once per handle.
+    ///
+    /// With the zero-queue fast path enabled
+    /// ([`RuntimeConfig::inline_successors`] / `batched_release`), a
+    /// release issued from a non-root task body is *deferred*: the task
+    /// is handed over (in a batch, or run inline as the worker's
+    /// immediate successor) when the releasing body completes — this is
+    /// how replayed task chains bypass the scheduler entirely. Releases
+    /// from the root task, and all releases with the feature disabled,
+    /// reach the scheduler immediately.
     pub fn release_held(&self, h: HeldTask) {
         let t = h.0;
         if unsafe { (*t).unblock() } {
-            let mut rec = self.worker.recorder.borrow_mut();
-            self.worker
-                .shared
-                .sched
-                .add_ready(TaskPtr(t), self.worker.id, Some(&mut rec));
+            let w = self.worker;
+            if w.defer_held.get() || w.collecting.get() {
+                w.pending.borrow_mut().push(TaskPtr(t));
+                return;
+            }
+            let mut rec = w.recorder.borrow_mut();
+            w.shared.sched.add_ready(TaskPtr(t), w.id, Some(&mut rec));
         } else {
             debug_assert!(false, "held task released twice");
         }
@@ -591,6 +793,9 @@ impl TaskCtx<'_> {
     /// empty task carrying `deps` is inserted into the dependency system
     /// and the worker helps execute other tasks until it runs.
     pub fn taskwait_on(&self, deps: Deps) {
+        // Deferred releases must be visible to the scheduler before this
+        // worker starts waiting on them.
+        self.worker.flush_pending();
         let task = unsafe { &*self.task };
         self.worker.record(EventKind::TaskwaitBegin, task.id);
         let done = Arc::new(AtomicBool::new(false));
@@ -663,6 +868,10 @@ impl TaskCtx<'_> {
     /// completed. The worker executes other ready tasks while waiting
     /// (work-assisting), so taskwait never deadlocks the thread pool.
     pub fn taskwait(&self) {
+        // Deferred releases must be visible to the scheduler before this
+        // worker starts waiting on them (they may be the very children
+        // the taskwait is for).
+        self.worker.flush_pending();
         let task = unsafe { &*self.task };
         if task.pending_children() <= 1 {
             return;
@@ -711,9 +920,8 @@ impl TaskCtx<'_> {
     }
 }
 
-/// Execute a task body and run the completion protocol.
-fn execute_task(w: &WorkerCtx, t: *mut Task) {
-    let shared = &w.shared;
+/// Run one task body (no completion protocol).
+fn run_body(w: &WorkerCtx, t: *mut Task) {
     let id = unsafe { (*t).id };
     w.record(EventKind::TaskStart, id);
     {
@@ -726,13 +934,99 @@ fn execute_task(w: &WorkerCtx, t: *mut Task) {
         body(&ctx);
     }
     w.record(EventKind::TaskEnd, id);
-    shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    w.shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+}
 
-    let hooks = Hooks { w };
-    unsafe {
-        shared.deps.body_done(t, &hooks);
-        if (*t).drop_child_ref() {
-            finish_subtree(w, t);
+/// Pick the task to keep as the worker's inline next task: the first one
+/// this completion released (its immediate successor), or — under the
+/// priority policy — the highest-priority one (FIFO among equals).
+fn pick_inline(pending: &mut Vec<TaskPtr>, policy: Policy) -> TaskPtr {
+    let idx = match policy {
+        Policy::Priority => pending
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, t)| (unsafe { (*t.0).priority }, core::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0),
+        _ => 0,
+    };
+    pending.remove(idx)
+}
+
+/// Execute a task body and run the completion protocol.
+///
+/// With the zero-queue fast path enabled
+/// ([`RuntimeConfig::inline_successors`] / `batched_release`), every
+/// successor released by the completion is collected; one is kept and run
+/// inline on this worker (hot cache, no queue, no lock — the
+/// immediate-successor chain, bounded by `inline_max_depth`), the rest
+/// are handed to the scheduler as a single batch.
+fn execute_task(w: &WorkerCtx, t: *mut Task) {
+    let shared = &w.shared;
+    let inline_on = shared.cfg.inline_successors;
+    if !inline_on && !shared.cfg.batched_release {
+        // Feature off: the exact pre-fast-path protocol.
+        run_body(w, t);
+        let hooks = Hooks { w };
+        unsafe {
+            shared.deps.body_done(t, &hooks);
+            if (*t).drop_child_ref() {
+                finish_subtree(w, t);
+            }
+        }
+        return;
+    }
+
+    let mut t = t;
+    let mut depth: usize = 0;
+    let saved_defer = w.defer_held.get();
+    loop {
+        // Held-task releases issued by this body become inline/batch
+        // candidates — except from the root task, whose spawn-phase
+        // releases must reach the other workers eagerly.
+        w.defer_held.set(!unsafe { (*t).parent.is_null() });
+        run_body(w, t);
+        w.defer_held.set(saved_defer);
+
+        // Completion window: collect every task this completion releases.
+        w.collecting.set(true);
+        let hooks = Hooks { w };
+        unsafe {
+            shared.deps.body_done(t, &hooks);
+            if (*t).drop_child_ref() {
+                finish_subtree(w, t);
+            }
+        }
+        w.collecting.set(false);
+
+        let mut next = None;
+        {
+            let mut scratch = w.scratch.borrow_mut();
+            {
+                let mut pending = w.pending.borrow_mut();
+                if inline_on && depth < shared.cfg.inline_max_depth && !pending.is_empty() {
+                    next = Some(pick_inline(&mut pending, shared.cfg.policy));
+                }
+                std::mem::swap(&mut *pending, &mut *scratch);
+            }
+            w.hand_off(&scratch);
+            scratch.clear();
+        }
+        match next {
+            Some(nt) => {
+                depth += 1;
+                shared.inline_runs.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .max_inline_depth
+                    .fetch_max(depth as u64, Ordering::Relaxed);
+                w.record(EventKind::InlineRun, unsafe { (*nt.0).id });
+                if let Some(noise) = &shared.noise {
+                    let mut rec = w.recorder.borrow_mut();
+                    noise.check(w.id as u16, &mut rec);
+                }
+                t = nt.0;
+            }
+            None => break,
         }
     }
 }
@@ -824,6 +1118,7 @@ impl Runtime {
             cfg.numa_nodes,
             cfg.policy,
             cfg.spsc_capacity,
+            cfg.pop_cache,
         );
         let deps = make_deps(cfg.deps);
         let alloc = make_allocator(cfg.alloc, cfg.workers + 1);
@@ -846,26 +1141,20 @@ impl Runtime {
             tasks_executed: AtomicU64::new(0),
             tasks_freed: AtomicU64::new(0),
             live_tasks: AtomicUsize::new(0),
+            inline_runs: AtomicU64::new(0),
+            max_inline_depth: AtomicU64::new(0),
             cfg,
         });
         let threads = (1..shared.cfg.workers)
             .map(|id| {
-                let w = WorkerCtx {
-                    id,
-                    shared: Arc::clone(&shared),
-                    recorder: RefCell::new(tracer.recorder(id as u16)),
-                };
+                let w = WorkerCtx::new(id, Arc::clone(&shared), tracer.recorder(id as u16));
                 std::thread::Builder::new()
                     .name(format!("nanotask-w{id}"))
                     .spawn(move || worker_loop(w))
                     .expect("spawn worker")
             })
             .collect();
-        let main = WorkerCtx {
-            id: 0,
-            shared: Arc::clone(&shared),
-            recorder: RefCell::new(tracer.recorder(0)),
-        };
+        let main = WorkerCtx::new(0, Arc::clone(&shared), tracer.recorder(0));
         Self {
             shared,
             threads,
@@ -943,16 +1232,29 @@ impl Runtime {
         }
     }
 
+    /// Aggregate counters plus scheduler-operation and fast-path
+    /// counters — the machine-checkable evidence behind perf claims.
+    pub fn run_report(&self) -> RunReport {
+        RunReport {
+            stats: self.stats(),
+            sched: self.shared.sched.op_stats(),
+            inline_runs: self.shared.inline_runs.load(Ordering::Relaxed),
+            max_inline_depth: self.shared.max_inline_depth.load(Ordering::Relaxed),
+        }
+    }
+
     /// Collect the trace recorded so far (call between/after `run`s; only
     /// flushed events appear — workers flush when idle).
     pub fn trace(&self) -> Trace {
         self.shared.tracer.finish()
     }
 
-    /// Recorded dependency edges (requires `record_graph` or
-    /// [`Runtime::set_graph_recording`]).
+    /// Drain the recorded dependency edges (requires `record_graph` or
+    /// [`Runtime::set_graph_recording`]). Takes the accumulated edges out
+    /// instead of cloning the whole `Vec` under the mutex; a second call
+    /// without new recording returns an empty list.
     pub fn graph_edges(&self) -> Vec<GraphEdge> {
-        self.shared.graph.lock().clone()
+        std::mem::take(&mut *self.shared.graph.lock())
     }
 
     /// Turn dependency-edge recording on or off at runtime (the replay
@@ -1311,6 +1613,209 @@ mod tests {
         });
         assert_eq!(unsafe { *x }, 7);
         unsafe { drop(Box::from_raw(x)) };
+    }
+
+    #[test]
+    fn fast_path_runs_chains_inline() {
+        // A pure readwrite chain: with the fast path on, every activation
+        // after the head should bypass the queue.
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2).fast_path(true));
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = crate::SendPtr::new(data);
+        rt.run(move |ctx| {
+            for _ in 0..100 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { *data }, 100);
+        let report = rt.run_report();
+        assert!(
+            report.inline_runs >= 50,
+            "chain mostly ran inline: {report:?}"
+        );
+        assert!(report.max_inline_depth <= 64);
+        assert_eq!(rt.live_tasks(), 0, "fast path leaks no tasks");
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn fast_path_correct_on_all_ablations_and_knob_combos() {
+        for base in RuntimeConfig::ablations() {
+            for (inline, batch) in [(true, false), (false, true), (true, true)] {
+                let label = base.label;
+                let rt = Runtime::new(
+                    base.clone()
+                        .workers(3)
+                        .with_inline_successors(inline)
+                        .with_batched_release(batch)
+                        .with_pop_cache(2),
+                );
+                let count = Arc::new(TestAtomicU64::new(0));
+                let c = Arc::clone(&count);
+                let data = Box::leak(Box::new(0u64)) as *mut u64;
+                let p = crate::SendPtr::new(data);
+                rt.run(move |ctx| {
+                    for _ in 0..40 {
+                        let c2 = Arc::clone(&c);
+                        ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| {
+                            unsafe { *p.get() += 1 };
+                            c2.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    // Independent tasks too (batch-released by register).
+                    for _ in 0..10 {
+                        let c2 = Arc::clone(&c);
+                        ctx.spawn(Deps::new(), move |_| {
+                            c2.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+                assert_eq!(
+                    count.load(Ordering::Relaxed),
+                    50,
+                    "{label} inline={inline} batch={batch}"
+                );
+                assert_eq!(unsafe { *data }, 40, "{label}");
+                assert_eq!(rt.live_tasks(), 0, "{label}");
+                if !batch {
+                    // The inline-only ablation must not batch covertly.
+                    assert_eq!(
+                        rt.run_report().sched.batch_adds,
+                        0,
+                        "{label} inline={inline}: no batches with batched_release off"
+                    );
+                }
+                unsafe { drop(Box::from_raw(data)) };
+            }
+        }
+    }
+
+    #[test]
+    fn inline_depth_bound_is_respected() {
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(1)
+                .fast_path(true)
+                .with_inline_max_depth(4),
+        );
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = crate::SendPtr::new(data);
+        rt.run(move |ctx| {
+            for _ in 0..64 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { *data }, 64);
+        let report = rt.run_report();
+        assert!(report.inline_runs > 0, "fast path engaged");
+        assert!(
+            report.max_inline_depth <= 4,
+            "depth bound violated: {}",
+            report.max_inline_depth
+        );
+        assert!(
+            report.sched.pops > 0,
+            "bounded chains must return to the scheduler"
+        );
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn taskwait_progresses_under_inline_chains() {
+        // The depth bound guarantees a task-waiting worker re-checks its
+        // condition at bounded intervals even when every completion keeps
+        // releasing an inline-able successor. A tiny bound + a single
+        // worker is the worst case: the root's taskwait must still return.
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(1)
+                .fast_path(true)
+                .with_inline_max_depth(2),
+        );
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = crate::SendPtr::new(data);
+        let observed = Arc::new(TestAtomicU64::new(0));
+        let o = Arc::clone(&observed);
+        rt.run(move |ctx| {
+            for _ in 0..500 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+            ctx.taskwait();
+            o.store(unsafe { *p.get() }, Ordering::SeqCst);
+        });
+        assert_eq!(
+            observed.load(Ordering::SeqCst),
+            500,
+            "taskwait saw every chained child complete"
+        );
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn fast_path_respects_priority_pick() {
+        // Inline pick under the priority policy keeps the highest-priority
+        // released task; the rest still execute.
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(2)
+                .fast_path(true)
+                .with_policy(crate::sched::Policy::Priority),
+        );
+        let count = Arc::new(TestAtomicU64::new(0));
+        let c = Arc::clone(&count);
+        rt.run(move |ctx| {
+            for i in 0..100 {
+                let c = Arc::clone(&c);
+                ctx.spawn_prioritized("p", i % 5, Deps::new(), move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn fast_path_reductions_and_taskwait_on() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3).fast_path(true));
+        let acc = Box::leak(Box::new(0.0f64)) as *mut f64;
+        let p = crate::SendPtr::new(acc);
+        rt.run(move |ctx| {
+            for i in 0..32 {
+                ctx.spawn(
+                    Deps::new().reduce_addr(p.addr(), 8, RedOp::SumF64),
+                    move |c| unsafe {
+                        let slot = c.red_slot(&*(p.addr() as *const f64));
+                        *slot += (i + 1) as f64;
+                    },
+                );
+            }
+            ctx.taskwait_on(Deps::new().read_addr(p.addr()));
+            assert_eq!(unsafe { *p.get() }, 528.0);
+        });
+        assert_eq!(unsafe { *acc }, 528.0);
+        unsafe { drop(Box::from_raw(acc)) };
+    }
+
+    #[test]
+    fn run_report_counts_scheduler_ops() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+        rt.run(|ctx| {
+            for _ in 0..20 {
+                ctx.spawn(Deps::new(), |_| {});
+            }
+        });
+        let report = rt.run_report();
+        assert_eq!(report.inline_runs, 0, "fast path off by default");
+        assert_eq!(report.sched.batch_adds, 0, "no batches with feature off");
+        assert_eq!(report.sched.adds, 20);
+        assert_eq!(report.sched.pops, 20);
+        assert_eq!(report.queue_bypass_fraction(), 0.0);
     }
 
     #[test]

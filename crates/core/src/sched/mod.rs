@@ -21,14 +21,88 @@ pub mod central;
 pub mod sync_sched;
 pub mod worksteal;
 
+use core::sync::atomic::{AtomicU64, Ordering};
 use nanotask_trace::CoreRecorder;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use crate::task::Task;
 
+/// Snapshot of scheduler operation counters — the machine-checkable side
+/// of the zero-queue fast-path claim (`fig13_inline_succ`): how many
+/// tasks entered the ready structures one at a time vs. in batches, how
+/// many pops were served from a per-worker cache, and how often the
+/// scheduler's lock was actually acquired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedOpStats {
+    /// Tasks added one at a time (`add_ready`).
+    pub adds: u64,
+    /// `add_ready_batch` calls.
+    pub batch_adds: u64,
+    /// Tasks added through batches.
+    pub batch_tasks: u64,
+    /// Successful pops (`get_ready` returned a task).
+    pub pops: u64,
+    /// Pops served from the per-worker pop cache (no lock touched).
+    pub pop_cache_hits: u64,
+    /// Scheduler-lock acquisitions (DTLock ownership transitions for the
+    /// delegation scheduler, central-lock acquisitions otherwise;
+    /// work-stealing counts per-deque lock acquisitions).
+    pub lock_acquisitions: u64,
+}
+
+/// Internal atomic counters behind [`SchedOpStats`]. All updates are
+/// `Relaxed` single fetch-adds; the snapshot is advisory (diagnostics and
+/// benchmark reporting, never control flow).
+#[derive(Debug, Default)]
+pub(crate) struct SchedCounters {
+    adds: AtomicU64,
+    batch_adds: AtomicU64,
+    batch_tasks: AtomicU64,
+    pops: AtomicU64,
+    pop_cache_hits: AtomicU64,
+    lock_acquisitions: AtomicU64,
+}
+
+impl SchedCounters {
+    #[inline]
+    pub(crate) fn add(&self) {
+        self.adds.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub(crate) fn batch(&self, n: usize) {
+        self.batch_adds.fetch_add(1, Ordering::Relaxed);
+        self.batch_tasks.fetch_add(n as u64, Ordering::Relaxed);
+    }
+    #[inline]
+    pub(crate) fn pop(&self) {
+        self.pops.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub(crate) fn cache_hit(&self) {
+        self.pop_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub(crate) fn lock(&self) {
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn snapshot(&self) -> SchedOpStats {
+        SchedOpStats {
+            adds: self.adds.load(Ordering::Relaxed),
+            batch_adds: self.batch_adds.load(Ordering::Relaxed),
+            batch_tasks: self.batch_tasks.load(Ordering::Relaxed),
+            pops: self.pops.load(Ordering::Relaxed),
+            pop_cache_hits: self.pop_cache_hits.load(Ordering::Relaxed),
+            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Send/Sync wrapper for task pointers travelling through queues.
+/// `repr(transparent)` so a `&[*mut Task]` can be reinterpreted as a
+/// `&[TaskPtr]` without copying (the batched-release hand-off).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(transparent)]
 pub struct TaskPtr(pub *mut Task);
 
 unsafe impl Send for TaskPtr {}
@@ -194,40 +268,53 @@ pub type Rec<'a> = Option<&'a mut CoreRecorder>;
 pub trait Scheduler: Send + Sync {
     /// Add a ready task (any worker, any time).
     fn add_ready(&self, task: TaskPtr, worker: usize, rec: Rec<'_>);
+    /// Add several ready tasks released by one completion, amortizing
+    /// lock acquisitions, buffer operations and trace records across the
+    /// whole batch. The default forwards to [`Scheduler::add_ready`] one
+    /// task at a time; the real implementations override it.
+    fn add_ready_batch(&self, tasks: &[TaskPtr], worker: usize, mut rec: Rec<'_>) {
+        for &t in tasks {
+            self.add_ready(t, worker, rec.as_deref_mut());
+        }
+    }
     /// Ask for a task for `worker`; `None` means no work available now.
     fn get_ready(&self, worker: usize, rec: Rec<'_>) -> Option<TaskPtr>;
     /// Approximate number of queued tasks (diagnostics only).
     fn approx_len(&self) -> usize;
     /// Which configuration this is.
     fn kind(&self) -> SchedKind;
+    /// Operation counters (see [`SchedOpStats`]); implementations that
+    /// don't track them return zeros.
+    fn op_stats(&self) -> SchedOpStats {
+        SchedOpStats::default()
+    }
 }
 
 /// Build a scheduler.
 ///
 /// `workers` is the worker-thread count, `numa_nodes` partitions the
 /// delegation scheduler's SPSC add-buffers, `spsc_capacity` bounds each
-/// buffer (Listing 5 uses 100).
+/// buffer (Listing 5 uses 100), and `pop_cache` enables the delegation
+/// scheduler's per-worker pop cache (0 = disabled; part of the
+/// zero-queue fast path, see [`crate::RuntimeConfig::fast_path`]).
 pub fn make_scheduler(
     kind: SchedKind,
     workers: usize,
     numa_nodes: usize,
     policy: Policy,
     spsc_capacity: usize,
+    pop_cache: usize,
 ) -> Arc<dyn Scheduler> {
     use nanotask_locks::{McsLock, PtLock, SpinLock, TicketLock, TwaLock};
     match kind {
-        SchedKind::Delegation => Arc::new(sync_sched::SyncScheduler::new(
-            workers,
-            numa_nodes,
-            policy,
-            spsc_capacity,
-        )),
-        SchedKind::DelegationFlat => Arc::new(sync_sched::SyncScheduler::new_flat(
-            workers,
-            numa_nodes,
-            policy,
-            spsc_capacity,
-        )),
+        SchedKind::Delegation => Arc::new(
+            sync_sched::SyncScheduler::new(workers, numa_nodes, policy, spsc_capacity)
+                .with_pop_cache(pop_cache),
+        ),
+        SchedKind::DelegationFlat => Arc::new(
+            sync_sched::SyncScheduler::new_flat(workers, numa_nodes, policy, spsc_capacity)
+                .with_pop_cache(pop_cache),
+        ),
         SchedKind::Central(LockKind::PtLock) => {
             Arc::new(central::CentralScheduler::<PtLock<64>>::new(policy, kind))
         }
@@ -340,7 +427,7 @@ mod tests {
             SchedKind::WorkSteal(WsVariant::LifoLocal),
             SchedKind::WorkSteal(WsVariant::FifoLocal),
         ] {
-            let s = make_scheduler(kind, 4, 2, Policy::Fifo, 64);
+            let s = make_scheduler(kind, 4, 2, Policy::Fifo, 64, 0);
             assert_eq!(s.kind(), kind);
             assert_eq!(s.approx_len(), 0);
         }
@@ -354,7 +441,7 @@ mod tests {
             SchedKind::Central(LockKind::PtLock),
             SchedKind::WorkSteal(WsVariant::LifoLocal),
         ] {
-            let s = make_scheduler(kind, 2, 1, Policy::Fifo, 8);
+            let s = make_scheduler(kind, 2, 1, Policy::Fifo, 8, 0);
             s.add_ready(fake(0x1000), 0, None);
             s.add_ready(fake(0x2000), 1, None);
             let mut got = vec![];

@@ -19,13 +19,14 @@ use nanotask_locks::CachePadded;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 
-use super::{Rec, SchedKind, Scheduler, TaskPtr, WsVariant};
+use super::{Rec, SchedCounters, SchedKind, SchedOpStats, Scheduler, TaskPtr, WsVariant};
 
 /// Work-stealing scheduler with one deque per worker.
 pub struct WorkStealScheduler {
     deques: Box<[CachePadded<Mutex<VecDeque<TaskPtr>>>]>,
     seeds: Box<[CachePadded<AtomicU64>]>,
     variant: WsVariant,
+    counters: SchedCounters,
     len: AtomicUsize,
 }
 
@@ -41,6 +42,7 @@ impl WorkStealScheduler {
                 .map(|i| CachePadded::new(AtomicU64::new(0x9E37_79B9 ^ (i as u64 + 1))))
                 .collect(),
             variant,
+            counters: SchedCounters::default(),
             len: AtomicUsize::new(0),
         }
     }
@@ -90,10 +92,28 @@ impl Scheduler for WorkStealScheduler {
         if let Some(r) = rec {
             r.record(nanotask_trace::EventKind::AddReady, unsafe { (*task.0).id });
         }
+        self.counters.add();
         self.len.fetch_add(1, Ordering::Relaxed);
-        self.deques[worker % self.deques.len()]
-            .lock()
-            .push_back(task);
+        let mut dq = self.deques[worker % self.deques.len()].lock();
+        self.counters.lock();
+        dq.push_back(task);
+    }
+
+    fn add_ready_batch(&self, tasks: &[TaskPtr], worker: usize, rec: Rec<'_>) {
+        match tasks {
+            [] => return,
+            [t] => return self.add_ready(*t, worker, rec),
+            _ => {}
+        }
+        if let Some(r) = rec {
+            r.record(nanotask_trace::EventKind::ReadyBatch, tasks.len() as u64);
+        }
+        self.counters.batch(tasks.len());
+        self.len.fetch_add(tasks.len(), Ordering::Relaxed);
+        // One deque-lock acquisition pushes the whole released batch.
+        let mut dq = self.deques[worker % self.deques.len()].lock();
+        self.counters.lock();
+        dq.extend(tasks.iter().copied());
     }
 
     fn get_ready(&self, worker: usize, _rec: Rec<'_>) -> Option<TaskPtr> {
@@ -101,6 +121,7 @@ impl Scheduler for WorkStealScheduler {
         let t = self.pop_local(w).or_else(|| self.steal(w));
         if t.is_some() {
             self.len.fetch_sub(1, Ordering::Relaxed);
+            self.counters.pop();
         }
         t
     }
@@ -111,6 +132,10 @@ impl Scheduler for WorkStealScheduler {
 
     fn kind(&self) -> SchedKind {
         SchedKind::WorkSteal(self.variant)
+    }
+
+    fn op_stats(&self) -> SchedOpStats {
+        self.counters.snapshot()
     }
 }
 
@@ -159,6 +184,22 @@ mod tests {
         assert_eq!(s.get_ready(0, None), None);
         s.add_ready(fake(1), 0, None);
         assert_eq!(s.get_ready(0, None), Some(fake(1)));
+    }
+
+    #[test]
+    fn batch_add_one_deque_lock() {
+        let s = WorkStealScheduler::new(2, WsVariant::FifoLocal);
+        let batch: Vec<TaskPtr> = (1..=5).map(fake).collect();
+        s.add_ready_batch(&batch, 0, None);
+        let ops = s.op_stats();
+        assert_eq!(ops.batch_adds, 1);
+        assert_eq!(ops.batch_tasks, 5);
+        assert_eq!(ops.lock_acquisitions, 1);
+        let mut got = vec![];
+        while let Some(t) = s.get_ready(0, None) {
+            got.push(t.0 as usize);
+        }
+        assert_eq!(got, (1..=5).collect::<Vec<_>>());
     }
 
     #[test]

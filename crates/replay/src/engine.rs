@@ -108,6 +108,13 @@ impl IterState {
 
     /// Drop one pending reference of node `i`, releasing its held task
     /// if that was the last one.
+    ///
+    /// This is the replay engine's release path onto the zero-queue fast
+    /// path: with [`nanotask_core::RuntimeConfig::fast_path`] enabled,
+    /// `release_held` *defers* releases issued from a completing task's
+    /// body — the runtime then keeps one released successor as the
+    /// worker's inline next task and hands the rest to the scheduler as
+    /// one batch, so a replayed chain never round-trips the ready queue.
     fn countdown(&self, ctx: &TaskCtx, i: u32) {
         if let Some(t) = self.graph.countdown(i as usize) {
             self.launched.fetch_add(1, Ordering::Relaxed);
@@ -632,6 +639,65 @@ mod tests {
         unsafe {
             drop(Box::from_raw(acc));
             drop(Box::from_raw(other));
+        }
+    }
+
+    #[test]
+    fn replay_chains_bypass_queue_with_fast_path() {
+        let rt = Runtime::new(
+            nanotask_core::RuntimeConfig::optimized()
+                .workers(2)
+                .fast_path(true),
+        );
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = SendPtr::new(data);
+        let report = rt.run_iterative(6, move |ctx| {
+            for _ in 0..20 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { *data }, 120);
+        assert_eq!(report.replayed, 5);
+        assert_eq!(report.diverged, 0);
+        let rr = rt.run_report();
+        assert!(
+            rr.inline_runs > 0,
+            "replayed chain successors ran inline: {rr:?}"
+        );
+        assert_eq!(rt.live_tasks(), 0);
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn divergent_replay_correct_under_fast_path() {
+        // Divergence mid-iteration taskwaits on the fed prefix — the
+        // deferred-release flush at taskwait entry must make that safe.
+        let rt = Runtime::new(
+            nanotask_core::RuntimeConfig::optimized()
+                .workers(2)
+                .fast_path(true),
+        );
+        let a = Box::leak(Box::new(0u64)) as *mut u64;
+        let b = Box::leak(Box::new(0u64)) as *mut u64;
+        let (pa, pb) = (SendPtr::new(a), SendPtr::new(b));
+        let iter = Arc::new(AtomicU64::new(0));
+        let report = rt.run_iterative(6, move |ctx| {
+            let i = iter.fetch_add(1, Ordering::Relaxed);
+            let p = if i.is_multiple_of(2) { pa } else { pb };
+            for _ in 0..4 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { (*a, *b) }, (12, 12));
+        assert_eq!(report.diverged, 3);
+        assert_eq!(rt.live_tasks(), 0);
+        unsafe {
+            drop(Box::from_raw(a));
+            drop(Box::from_raw(b));
         }
     }
 

@@ -466,9 +466,9 @@ mod tests {
     fn tap_crosscheck_counts_foreign_edges() {
         let mk_edge = |from: TaskId, to: TaskId| GraphEdge {
             from,
-            from_label: "a".into(),
+            from_label: "a",
             to,
-            to_label: "b".into(),
+            to_label: "b",
             addr: 0x10,
             kind: EdgeKind::Successor,
         };

@@ -60,6 +60,13 @@ pub enum EventKind {
     ReplayIterBegin = 20,
     /// The replayed iteration finished. Payload: iteration index.
     ReplayIterEnd = 21,
+    /// A completing task handed one newly-ready successor straight to its
+    /// worker (immediate-successor fast path: no queue, no lock).
+    /// Payload: the inlined task's id.
+    InlineRun = 22,
+    /// A batch of ready tasks was added to the scheduler in one
+    /// operation (amortized locks/buffers). Payload: batch size.
+    ReadyBatch = 23,
 }
 
 impl EventKind {
@@ -89,6 +96,8 @@ impl EventKind {
             19 => ReplayRecordEnd,
             20 => ReplayIterBegin,
             21 => ReplayIterEnd,
+            22 => InlineRun,
+            23 => ReadyBatch,
             _ => return None,
         })
     }
@@ -119,6 +128,8 @@ impl EventKind {
             ReplayRecordEnd,
             ReplayIterBegin,
             ReplayIterEnd,
+            InlineRun,
+            ReadyBatch,
         ]
     }
 }
@@ -150,7 +161,7 @@ mod tests {
     #[test]
     fn unknown_kind_rejected() {
         assert_eq!(EventKind::from_u8(200), None);
-        assert_eq!(EventKind::from_u8(22), None);
+        assert_eq!(EventKind::from_u8(24), None);
     }
 
     #[test]

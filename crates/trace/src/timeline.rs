@@ -291,7 +291,9 @@ impl Timeline {
                 | EventKind::ReplayRecordBegin
                 | EventKind::ReplayRecordEnd
                 | EventKind::ReplayIterBegin
-                | EventKind::ReplayIterEnd => {}
+                | EventKind::ReplayIterEnd
+                | EventKind::InlineRun
+                | EventKind::ReadyBatch => {}
             }
         }
         // Close any open interval at the trace end.

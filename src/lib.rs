@@ -51,8 +51,8 @@ pub use nanotask_trace as trace;
 pub use nanotask_workloads as workloads;
 
 pub use nanotask_core::{
-    Deps, DepsKind, Platform, RedOp, Runtime, RuntimeConfig, RuntimeStats, SchedKind, SendPtr,
-    TaskCtx,
+    Deps, DepsKind, Platform, RedOp, RunReport, Runtime, RuntimeConfig, RuntimeStats, SchedKind,
+    SchedOpStats, SendPtr, TaskCtx,
 };
 pub use nanotask_replay::{ReplayReport, RunIterative};
 

@@ -1,0 +1,246 @@
+//! Property-based tests for the **zero-queue fast path**
+//! (immediate-successor inline execution + batched ready-task release +
+//! pop cache, `RuntimeConfig::fast_path`): for random task programs run
+//! with the fast path *enabled*, across the full
+//! {Delegation, Central, WorkSteal} × {WaitFree, Locking} ×
+//! {`run`, `run_iterative`} matrix,
+//!
+//! 1. no task is lost or run twice (per-task execution counters);
+//! 2. the final memory equals a serial execution (writers apply a
+//!    non-commutative update, so this alone pins every write order);
+//! 3. dependency-edge order is respected: for every ordering edge
+//!    `(a, b)` of the program's dependency graph — derived with the same
+//!    group semantics both dependency systems implement, via
+//!    `ReplayGraph::build` — task `a` finishes before task `b` starts.
+//!    For `run_iterative` the engine's own recorded `edge_list` is
+//!    checked as well (its final iteration replays with held-task
+//!    releases deferred into inline/batch hand-offs).
+
+use proptest::prelude::*;
+
+use nanotask::replay::{CapturedSpawn, ReplayGraph};
+use nanotask::runtime_core::sched::{LockKind, WsVariant};
+use nanotask::{Deps, DepsKind, RunIterative, Runtime, RuntimeConfig, SchedKind, SendPtr};
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const ADDRS: usize = 4;
+
+#[derive(Debug, Clone, Copy)]
+enum Acc {
+    Read(usize),
+    Write(usize),
+    ReadWrite(usize),
+}
+
+impl Acc {
+    fn addr_idx(&self) -> usize {
+        match *self {
+            Acc::Read(a) | Acc::Write(a) | Acc::ReadWrite(a) => a,
+        }
+    }
+
+    fn mode(&self) -> nanotask::runtime_core::AccessMode {
+        use nanotask::runtime_core::AccessMode;
+        match self {
+            Acc::Read(_) => AccessMode::Read,
+            Acc::Write(_) => AccessMode::Write,
+            Acc::ReadWrite(_) => AccessMode::ReadWrite,
+        }
+    }
+}
+
+fn acc_strategy() -> impl Strategy<Value = Acc> {
+    (0usize..ADDRS, 0u8..3).prop_map(|(a, m)| match m {
+        0 => Acc::Read(a),
+        1 => Acc::Write(a),
+        _ => Acc::ReadWrite(a),
+    })
+}
+
+fn task_strategy() -> impl Strategy<Value = (Vec<Acc>, u64)> {
+    (proptest::collection::vec(acc_strategy(), 1..3), 1u64..1000).prop_map(|(mut accs, seed)| {
+        accs.dedup_by_key(|a| a.addr_idx());
+        (accs, seed)
+    })
+}
+
+/// Deterministic, non-commutative writer update.
+fn mix(old: u64, seed: u64) -> u64 {
+    old.wrapping_mul(6364136223846793005)
+        .wrapping_add(seed)
+        .rotate_left(13)
+}
+
+fn serial(program: &[(Vec<Acc>, u64)], iters: usize) -> [u64; ADDRS] {
+    let mut mem = [0u64; ADDRS];
+    for _ in 0..iters {
+        for (accs, seed) in program {
+            for acc in accs {
+                if let Acc::Write(a) | Acc::ReadWrite(a) = *acc {
+                    mem[a] = mix(mem[a], *seed);
+                }
+            }
+        }
+    }
+    mem
+}
+
+/// The program's ordering edges with real addresses `base[idx]`, derived
+/// through the replay builder's group semantics (readers concurrent,
+/// exclusive accesses serialized — what both dependency systems enforce).
+fn expected_edges(program: &[(Vec<Acc>, u64)], base: SendPtr<u64>) -> Vec<(u32, u32)> {
+    let captured: Vec<CapturedSpawn> = program
+        .iter()
+        .map(|(accs, _)| CapturedSpawn {
+            label: "t",
+            priority: 0,
+            decls: accs
+                .iter()
+                .map(|acc| {
+                    nanotask::runtime_core::AccessDecl::new(
+                        unsafe { base.add(acc.addr_idx()).addr() },
+                        8,
+                        acc.mode(),
+                    )
+                })
+                .collect(),
+            body: None,
+            id: None,
+        })
+        .collect();
+    ReplayGraph::build(&captured, &[]).edge_pairs()
+}
+
+struct Stamps {
+    clock: Arc<AtomicU64>,
+    per_task: Arc<Vec<(AtomicU64, AtomicU64, AtomicU64)>>, // (start, end, runs)
+}
+
+fn check_order(edges: &[(u32, u32)], stamps: &Stamps, what: &str, sched: SchedKind) {
+    for &(a, b) in edges {
+        let end_a = stamps.per_task[a as usize].1.load(Ordering::Relaxed);
+        let start_b = stamps.per_task[b as usize].0.load(Ordering::Relaxed);
+        assert!(end_a > 0 && start_b > 0, "{what}: edge endpoints executed");
+        assert!(
+            end_a < start_b,
+            "{what}: edge ({a}, {b}) violated under {sched:?}: \
+             end[{a}]={end_a} >= start[{b}]={start_b}"
+        );
+    }
+}
+
+/// Run the program on one (scheduler, deps) combo with the fast path on,
+/// through `run` or `run_iterative`, and check all three properties.
+fn check(program: &[(Vec<Acc>, u64)], sched: SchedKind, deps: DepsKind, iterative: bool) {
+    let n = program.len();
+    let iters = if iterative { 3 } else { 1 };
+    let want = serial(program, iters);
+    let rt = Runtime::new(
+        RuntimeConfig::optimized()
+            .scheduler(sched)
+            .dependency_system(deps)
+            .workers(3)
+            .fast_path(true),
+    );
+    let mut mem = Box::new([0u64; ADDRS]);
+    let base = SendPtr::new(mem.as_mut_ptr());
+    let stamps = Stamps {
+        clock: Arc::new(AtomicU64::new(1)),
+        per_task: Arc::new(
+            (0..n)
+                .map(|_| (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)))
+                .collect(),
+        ),
+    };
+    let body = {
+        let program = program.to_vec();
+        let clock = Arc::clone(&stamps.clock);
+        let per_task = Arc::clone(&stamps.per_task);
+        move |ctx: &nanotask::TaskCtx| {
+            for (ti, (accs, seed)) in program.iter().enumerate() {
+                let mut d = Deps::new();
+                for acc in accs {
+                    let addr = unsafe { base.add(acc.addr_idx()).addr() };
+                    d = match acc {
+                        Acc::Read(_) => d.read_addr(addr),
+                        Acc::Write(_) => d.write_addr(addr),
+                        Acc::ReadWrite(_) => d.readwrite_addr(addr),
+                    };
+                }
+                let accs = accs.clone();
+                let seed = *seed;
+                let clock = Arc::clone(&clock);
+                let per_task = Arc::clone(&per_task);
+                ctx.spawn(d, move |_| {
+                    per_task[ti]
+                        .0
+                        .store(clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                    per_task[ti].2.fetch_add(1, Ordering::Relaxed);
+                    for acc in &accs {
+                        if let Acc::Write(a) | Acc::ReadWrite(a) = *acc {
+                            let p = unsafe { base.add(a).get() };
+                            unsafe { *p = mix(*p, seed) };
+                        }
+                    }
+                    per_task[ti]
+                        .1
+                        .store(clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                });
+            }
+        }
+    };
+
+    let what = if iterative { "run_iterative" } else { "run" };
+    if iterative {
+        let report = rt.run_iterative(iters, body);
+        assert_eq!(report.iterations, iters, "{what} {sched:?} {deps:?}");
+        assert_eq!(report.diverged, 0, "deterministic body must not diverge");
+        // Edge order per the engine's own recorded graph (stamps describe
+        // the final, replayed iteration).
+        check_order(&report.edge_list, &stamps, what, sched);
+    } else {
+        rt.run(body);
+    }
+
+    assert_eq!(
+        *mem, want,
+        "{what} {sched:?} {deps:?}: memory differs from serial x{iters}"
+    );
+    for (ti, s) in stamps.per_task.iter().enumerate() {
+        assert_eq!(
+            s.2.load(Ordering::Relaxed),
+            iters as u64,
+            "{what} {sched:?} {deps:?}: task {ti} not run exactly once per iteration"
+        );
+    }
+    // Edge order per the program's dependency graph (for run_iterative
+    // this re-checks the final iteration against the derived graph).
+    check_order(&expected_edges(program, base), &stamps, what, sched);
+    assert_eq!(rt.live_tasks(), 0, "{what} {sched:?} {deps:?}: tasks leak");
+}
+
+const SCHEDS: [SchedKind; 3] = [
+    SchedKind::Delegation,
+    SchedKind::Central(LockKind::PtLock),
+    SchedKind::WorkSteal(WsVariant::LifoLocal),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The full matrix per generated program: 3 schedulers × 2 dependency
+    /// systems × {run, run_iterative}, all with the fast path enabled.
+    #[test]
+    fn fast_path_preserves_order_and_runs_each_task_once(
+        program in proptest::collection::vec(task_strategy(), 1..20)
+    ) {
+        for sched in SCHEDS {
+            for deps in [DepsKind::WaitFree, DepsKind::Locking] {
+                for iterative in [false, true] {
+                    check(&program, sched, deps, iterative);
+                }
+            }
+        }
+    }
+}
