@@ -141,6 +141,24 @@ pub struct RuntimeConfig {
     /// delegation-lock acquisition pre-pops up to this many extra tasks
     /// for the acquiring worker. 0 (default) disables the cache.
     pub pop_cache: usize,
+    /// Frozen replay graphs the replay engine keeps, LRU-keyed by
+    /// structural hash (`nanotask-replay`'s `GraphCache`). Values > 1
+    /// let phase-alternating iterative bodies (miniAMR-style
+    /// refine/coarsen cycles) replay every phase instead of re-recording
+    /// on each alternation; 1 reproduces the original single-graph
+    /// engine byte for byte (divergence discards the graph and blindly
+    /// re-records).
+    pub replay_cache_size: usize,
+    /// After this many *consecutive* iterations that could not replay
+    /// (record or divergence), the replay engine pins the body to the
+    /// dependency system and stops recording. 0 disables the give-up
+    /// policy. Ignored when `replay_cache_size` is 1.
+    pub replay_giveup_after: usize,
+    /// While pinned, every this-many iterations the engine runs one
+    /// cheap hash-only probe (no graph build) to detect that the body
+    /// re-stabilized onto a cached or repeating shape. Ignored when
+    /// `replay_cache_size` is 1.
+    pub replay_recheck_every: usize,
     /// Name shown by benchmark harnesses.
     pub label: &'static str,
 }
@@ -170,6 +188,9 @@ impl RuntimeConfig {
             inline_max_depth: 64,
             batched_release: false,
             pop_cache: 0,
+            replay_cache_size: 4,
+            replay_giveup_after: 8,
+            replay_recheck_every: 16,
             label: "optimized",
         }
     }
@@ -333,6 +354,27 @@ impl RuntimeConfig {
         self
     }
 
+    /// Set the replay engine's frozen-graph cache capacity (min 1;
+    /// 1 = the original single-graph engine with no hysteresis).
+    pub fn with_replay_cache_size(mut self, n: usize) -> Self {
+        self.replay_cache_size = n.max(1);
+        self
+    }
+
+    /// Set how many consecutive non-replayed iterations make the replay
+    /// engine give up and pin the body to the dependency system
+    /// (0 = never give up).
+    pub fn with_replay_giveup_after(mut self, n: usize) -> Self {
+        self.replay_giveup_after = n;
+        self
+    }
+
+    /// Set the pinned-mode re-stabilization probe interval (min 1).
+    pub fn with_replay_recheck_every(mut self, n: usize) -> Self {
+        self.replay_recheck_every = n.max(1);
+        self
+    }
+
     /// The four §6.2 ablation configurations, in paper order.
     pub fn ablations() -> Vec<RuntimeConfig> {
         vec![
@@ -422,6 +464,13 @@ pub(crate) struct Shared {
     pub inline_runs: AtomicU64,
     /// Longest inline chain observed (≤ `cfg.inline_max_depth`).
     pub max_inline_depth: AtomicU64,
+    /// Spawns issued by *non-root* tasks while a spawn capture is
+    /// installed (nested task domains). The replay engine reads deltas
+    /// of this around record iterations: a recorded iteration that
+    /// spawned nested children cannot be replayed safely (cross-sibling
+    /// dependencies of nested tasks are invisible to the frozen graph)
+    /// and is pinned to the dependency system instead.
+    pub nested_spawns: AtomicU64,
 }
 
 impl Shared {
@@ -651,12 +700,21 @@ impl TaskCtx<'_> {
         body: impl FnOnce(&TaskCtx) + Send + 'static,
     ) {
         let body: TaskBody = Box::new(body);
-        if let Some(cap) = self.root_capture() {
-            if let Some((deps, body)) = cap.on_spawn(self, label, priority, deps, body) {
-                let id = self.spawn_internal(label, priority, deps, body, None);
-                cap.on_spawned(id);
+        if self.worker.shared.has_capture.load(Ordering::Acquire) {
+            if !unsafe { (*self.task).parent.is_null() } {
+                // Nested spawn under an installed capture: count it so
+                // the replay engine can detect nested task domains.
+                self.worker
+                    .shared
+                    .nested_spawns
+                    .fetch_add(1, Ordering::Relaxed);
+            } else if let Some(cap) = self.root_capture() {
+                if let Some((deps, body)) = cap.on_spawn(self, label, priority, deps, body) {
+                    let id = self.spawn_internal(label, priority, deps, body, None);
+                    cap.on_spawned(id);
+                }
+                return;
             }
-            return;
         }
         self.spawn_internal(label, priority, deps, body, None);
     }
@@ -759,6 +817,13 @@ impl TaskCtx<'_> {
     /// [`Runtime::graph_edges`] + [`Runtime::clear_graph_edges`]).
     pub fn take_graph_edges(&self) -> Vec<GraphEdge> {
         std::mem::take(&mut *self.worker.shared.graph.lock())
+    }
+
+    /// Cumulative count of spawns issued by non-root tasks while a spawn
+    /// capture was installed (nested task domains). The replay engine
+    /// reads deltas of this around record iterations.
+    pub fn nested_spawn_count(&self) -> u64 {
+        self.worker.shared.nested_spawns.load(Ordering::Relaxed)
     }
 
     /// Release a task created by [`TaskCtx::spawn_held`], handing it to
@@ -1143,6 +1208,7 @@ impl Runtime {
             live_tasks: AtomicUsize::new(0),
             inline_runs: AtomicU64::new(0),
             max_inline_depth: AtomicU64::new(0),
+            nested_spawns: AtomicU64::new(0),
             cfg,
         });
         let threads = (1..shared.cfg.workers)
@@ -1297,6 +1363,11 @@ impl Runtime {
     /// runs completed and chains were closed).
     pub fn live_tasks(&self) -> usize {
         self.shared.live_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative nested-spawn count (see [`TaskCtx::nested_spawn_count`]).
+    pub fn nested_spawn_count(&self) -> u64 {
+        self.shared.nested_spawns.load(Ordering::Relaxed)
     }
 }
 

@@ -1,4 +1,21 @@
 //! The replay engine: [`RunIterative::run_iterative`].
+//!
+//! Iteration 0 records the body's task graph through the full dependency
+//! system; later iterations replay a frozen [`ReplayGraph`]. Frozen
+//! graphs live in a [`GraphCache`] keyed by structural hash, giving
+//! divergence *hysteresis*: a body that alternates between a small set
+//! of shapes (miniAMR-style refine/coarsen phases) re-records each shape
+//! once and then replays every phase, instead of re-recording on every
+//! alternation like the original single-graph engine
+//! (`replay_cache_size = 1` restores that behavior exactly). A body that
+//! keeps diverging is eventually *pinned* to the dependency system
+//! ([`nanotask_core::RuntimeConfig::replay_giveup_after`]), with a cheap
+//! hash-only probe every [`nanotask_core::RuntimeConfig::replay_recheck_every`]
+//! iterations to detect re-stabilization. A recorded iteration that
+//! spawned nested task domains (cross-sibling dependencies of nested
+//! tasks are invisible to the frozen graph) is never replayed: the body
+//! is pinned immediately, detected via the dependency-edge tap's foreign
+//! edges plus the runtime's nested-spawn counter.
 
 use core::cell::UnsafeCell;
 use std::sync::Arc;
@@ -8,49 +25,88 @@ use nanotask_core::deps::reduction::ReductionInfo;
 use nanotask_core::{Deps, HeldTask, Runtime, SpawnCapture, TaskBody, TaskCtx, TaskId};
 use nanotask_trace::EventKind;
 
+use crate::cache::GraphCache;
 use crate::graph::ReplayGraph;
-use crate::recorder::{CaptureMode, GraphRecorder, spawn_sig_hash};
+use crate::recorder::{
+    CaptureMode, CapturedSpawn, GraphRecorder, STRUCTURAL_HASH_SEED, chain_structural_hash,
+    spawn_sig_hash,
+};
 
 /// What a [`RunIterative::run_iterative`] call did.
+///
+/// Every iteration is classified exactly once:
+/// `cache_hits + cache_misses + pinned_iterations == iterations`.
 #[derive(Debug, Clone, Default)]
 pub struct ReplayReport {
     /// Iterations executed in total.
     pub iterations: usize,
-    /// Iterations replayed from the frozen graph.
+    /// Iterations replayed from a frozen graph.
     pub replayed: usize,
-    /// Record iterations (the initial one plus re-records after
-    /// divergence).
+    /// Iterations whose graph was (re)built and frozen: the initial
+    /// record plus every divergence that missed the cache.
     pub rerecords: usize,
-    /// Iterations that diverged from the recorded graph and fell back to
-    /// the dependency system (each is followed by a re-record).
+    /// Iterations that diverged from the graph being fed and fell back
+    /// to the dependency system mid-iteration.
     pub diverged: usize,
-    /// Tasks per iteration in the last recorded graph.
+    /// Tasks per iteration in the last frozen graph.
     pub tasks: usize,
-    /// Edges in the last recorded graph.
+    /// Edges in the last frozen graph.
     pub edges: usize,
     /// Edges as `(from, to)` creation-order pairs (test/analysis support).
     pub edge_list: Vec<(u32, u32)>,
     /// Successor edges the dependency system reported that involve tasks
-    /// outside the captured set (nested children) — a diagnostic that the
-    /// body uses nesting the replay graph cannot see.
+    /// outside the captured set (nested children linking into the
+    /// recorded iteration). With a cache (`replay_cache_size > 1`) any
+    /// non-zero value pins the body to the dependency system.
     pub foreign_edges: usize,
+    /// Iterations served by the graph cache: fully replayed iterations
+    /// plus diverged iterations whose structure matched a cached graph.
+    pub cache_hits: usize,
+    /// Iterations that needed the dependency system because no cached
+    /// graph matched: records plus diverged cache misses.
+    pub cache_misses: usize,
+    /// Frozen graphs evicted from the cache (capacity pressure).
+    pub cache_evictions: u64,
+    /// Iterations executed while pinned to the dependency system
+    /// (give-up policy or nested-domain fallback), including the
+    /// hash-only re-stabilization probes.
+    pub pinned_iterations: usize,
+    /// Times the engine pinned the body (consecutive-divergence
+    /// threshold or nested-domain detection).
+    pub giveups: usize,
+    /// Spawns issued by nested (non-root) tasks during graph-building
+    /// iterations. Non-zero means the body uses nested task domains.
+    pub nested_spawns: u64,
+    /// The body was pinned because a recorded iteration contained nested
+    /// task domains (nested spawns or foreign dependency edges) — replay
+    /// cannot see cross-sibling dependencies of nested tasks, so the
+    /// dependency system stays in charge permanently.
+    pub pinned_nested: bool,
+    /// Per cached graph: `(structural_hash, tasks, iterations replayed
+    /// from it)`, most recently used first. Graphs evicted before the
+    /// run ended are not listed.
+    pub per_graph_replays: Vec<(u64, usize, u64)>,
 }
 
 /// Extension trait adding record & replay execution to [`Runtime`].
 pub trait RunIterative {
     /// Run `body` `iters` times. Iteration 0 executes through the full
     /// dependency system while a [`GraphRecorder`] captures the task
-    /// graph; iterations `1..iters` replay the frozen graph, feeding
-    /// ready tasks straight to the scheduler and bypassing dependency
+    /// graph; later iterations replay frozen graphs, feeding ready tasks
+    /// straight to the scheduler and bypassing dependency
     /// registration/release entirely. Each iteration is a barrier (the
     /// next iteration's tasks spawn only after the previous iteration's
     /// subtree completed) and the call returns after the last one.
     ///
-    /// `body` must spawn the same graph every call for replay to engage;
-    /// if a spawn diverges from the recorded node (cheap per-spawn
-    /// signature hash over label, priority and access set), the already
-    /// replayed prefix is awaited, the rest of that iteration runs
-    /// through the dependency system, and the next iteration re-records.
+    /// The body does *not* have to spawn the same graph every call: up
+    /// to [`nanotask_core::RuntimeConfig::replay_cache_size`] distinct
+    /// shapes are kept frozen (keyed by structural hash) and a
+    /// divergence probes the cache before re-recording, so stable phase
+    /// cycles replay every phase. Divergence is still detected per spawn
+    /// (cheap signature hash over label, priority and access set) and
+    /// always degrades safely: the already replayed prefix is awaited
+    /// and the rest of that iteration runs through the dependency
+    /// system.
     fn run_iterative<F>(&self, iters: usize, body: F) -> ReplayReport
     where
         F: Fn(&TaskCtx) + Send + Sync + 'static;
@@ -169,37 +225,74 @@ impl IterState {
     }
 }
 
-/// The engine's capture: either recording through the embedded
-/// [`GraphRecorder`], or feeding spawns straight into a frozen graph.
+/// The engine's capture: recording through the embedded
+/// [`GraphRecorder`], hash-only probing, or feeding spawns straight into
+/// a frozen graph.
 enum Mode {
     Off,
     Record,
+    /// Pinned-mode re-stabilization probe: chain the per-spawn signature
+    /// hashes into the iteration's structural hash without buffering
+    /// anything; every spawn proceeds through the dependency system.
+    Probe {
+        hash: u64,
+    },
     Feed {
         state: Arc<IterState>,
         next: usize,
         diverged: bool,
+        /// The feed target was swapped mid-start: the first spawn did not
+        /// match the scheduled graph but matched another cached one.
+        switched: bool,
+        /// After a divergence (hysteresis only): the full spawn metadata
+        /// of this iteration — the fed prefix reconstructed from the
+        /// graph plus every fallback spawn — so the engine can freeze
+        /// the diverged shape without a dedicated re-record pass.
+        captured: Vec<CapturedSpawn>,
     },
+}
+
+/// Everything [`EngineCapture::end_feed`] hands back to the engine loop.
+struct FeedEnd {
+    state: Arc<IterState>,
+    spawned: usize,
+    diverged: bool,
+    switched: bool,
+    captured: Vec<CapturedSpawn>,
 }
 
 /// The capture installed by [`RunIterative::run_iterative`].
 ///
-/// Hot state lives in an `UnsafeCell`: the runtime calls `SpawnCapture`
+/// Hot state lives in `UnsafeCell`s: the runtime calls `SpawnCapture`
 /// methods only from the thread executing the root task body, and the
-/// engine switches modes only from that same body — all accesses are
-/// sequential on one thread (see the `SpawnCapture` docs).
+/// engine switches modes / consults the cache only from that same body —
+/// all accesses are sequential on one thread (see the `SpawnCapture`
+/// docs).
 struct EngineCapture {
     mode: UnsafeCell<Mode>,
     recorder: GraphRecorder,
+    cache: UnsafeCell<GraphCache>,
+    /// Worker count, needed to build per-iteration reduction state when
+    /// swapping feed targets.
+    workers: usize,
+    /// `replay_cache_size > 1`: cache probing, divergence capture and
+    /// pinning are active. With 1 the engine is byte-identical to the
+    /// original single-graph design (divergence discards the graph and
+    /// the next iteration blindly re-records).
+    hysteresis: bool,
 }
 
 unsafe impl Send for EngineCapture {}
 unsafe impl Sync for EngineCapture {}
 
 impl EngineCapture {
-    fn new() -> Self {
+    fn new(workers: usize, cache_size: usize) -> Self {
         Self {
             mode: UnsafeCell::new(Mode::Off),
             recorder: GraphRecorder::new(),
+            cache: UnsafeCell::new(GraphCache::new(cache_size)),
+            workers,
+            hysteresis: cache_size > 1,
         }
     }
 
@@ -210,9 +303,35 @@ impl EngineCapture {
         unsafe { &mut *self.mode.get() }
     }
 
+    /// # Safety
+    /// Root-thread confinement (see type docs).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn cache(&self) -> &mut GraphCache {
+        unsafe { &mut *self.cache.get() }
+    }
+
     fn set_record(&self) {
         self.recorder.begin(CaptureMode::Record);
         unsafe { *self.mode() = Mode::Record };
+    }
+
+    fn set_probe(&self) {
+        unsafe {
+            *self.mode() = Mode::Probe {
+                hash: STRUCTURAL_HASH_SEED,
+            }
+        };
+    }
+
+    /// Leave probe mode; returns the iteration's structural hash.
+    fn end_probe(&self) -> u64 {
+        let mode = unsafe { self.mode() };
+        let h = match mode {
+            Mode::Probe { hash } => *hash,
+            _ => STRUCTURAL_HASH_SEED,
+        };
+        *mode = Mode::Off;
+        h
     }
 
     fn set_feed(&self, state: Arc<IterState>) {
@@ -221,22 +340,35 @@ impl EngineCapture {
                 state,
                 next: 0,
                 diverged: false,
+                switched: false,
+                captured: Vec::new(),
             }
         };
     }
 
-    /// Leave feed mode; returns `(spawns_seen, diverged)`.
-    fn end_feed(&self) -> (usize, bool) {
+    /// Leave feed mode, handing back what happened (`None` if feed mode
+    /// was never entered).
+    fn end_feed(&self) -> Option<FeedEnd> {
         let mode = unsafe { self.mode() };
-        let out = match mode {
-            Mode::Feed { next, diverged, .. } => (*next, *diverged),
-            _ => (0, false),
-        };
-        *mode = Mode::Off;
-        out
+        match core::mem::replace(mode, Mode::Off) {
+            Mode::Feed {
+                state,
+                next,
+                diverged,
+                switched,
+                captured,
+            } => Some(FeedEnd {
+                state,
+                spawned: next,
+                diverged,
+                switched,
+                captured,
+            }),
+            _ => None,
+        }
     }
 
-    fn end_record(&self) -> Vec<crate::recorder::CapturedSpawn> {
+    fn end_record(&self) -> Vec<CapturedSpawn> {
         unsafe { *self.mode() = Mode::Off };
         self.recorder.take()
     }
@@ -256,39 +388,81 @@ impl SpawnCapture for EngineCapture {
         body: TaskBody,
     ) -> Option<(Deps, TaskBody)> {
         // SAFETY: root-thread confinement; nothing reached from the calls
-        // below (spawn_held, taskwait, recorder) re-enters this capture —
-        // nested tasks executed while task-waiting are non-root and the
-        // runtime only offers root spawns.
+        // below (spawn_held, taskwait, recorder, cache) re-enters this
+        // capture — nested tasks executed while task-waiting are non-root
+        // and the runtime only offers root spawns.
         let mode = unsafe { self.mode() };
         match mode {
             Mode::Off => Some((deps, body)),
             Mode::Record => self.recorder.on_spawn(ctx, label, priority, deps, body),
+            Mode::Probe { hash } => {
+                *hash = chain_structural_hash(*hash, spawn_sig_hash(label, priority, deps.decls()));
+                Some((deps, body))
+            }
             Mode::Feed {
                 state,
                 next,
                 diverged,
+                switched,
+                captured,
             } => {
                 if *diverged {
+                    if self.hysteresis {
+                        captured.push(CapturedSpawn {
+                            label,
+                            priority,
+                            decls: deps.decls().to_vec(),
+                            body: None,
+                            id: None,
+                        });
+                    }
                     return Some((deps, body));
                 }
                 let i = *next;
                 *next = i + 1;
-                let nodes = state.graph.nodes();
-                if i < nodes.len() && nodes[i].sig == spawn_sig_hash(label, priority, deps.decls())
-                {
+                let sig = spawn_sig_hash(label, priority, deps.decls());
+                let matched = {
+                    let nodes = state.graph.nodes();
+                    i < nodes.len() && nodes[i].sig == sig
+                };
+                if matched {
                     state.feed(&Arc::clone(state), ctx, i, body);
-                    None
-                } else {
-                    // Divergence mid-iteration: wait for the already-fed
-                    // prefix (its ordering was enforced by the graph),
-                    // fold any partially-fed reduction groups, then let
-                    // this and all later spawns go through the dependency
-                    // system — conservative and correct.
-                    *diverged = true;
-                    ctx.taskwait();
-                    state.combine_partial();
-                    Some((deps, body))
+                    return None;
                 }
+                if i == 0 && self.hysteresis {
+                    // Nothing has been fed yet: a cached graph whose
+                    // first spawn matches can take over wholesale — the
+                    // phase-switch fast path of alternating bodies.
+                    if let Some(g) = unsafe { self.cache() }.get_by_first_sig(sig) {
+                        let st = Arc::new(IterState::new(g, self.workers));
+                        *state = Arc::clone(&st);
+                        *switched = true;
+                        st.feed(&st, ctx, 0, body);
+                        return None;
+                    }
+                }
+                // Divergence mid-iteration: wait for the already-fed
+                // prefix (its ordering was enforced by the graph), fold
+                // any partially-fed reduction groups, then let this and
+                // all later spawns go through the dependency system —
+                // conservative and correct. With hysteresis the full
+                // shape of this iteration is captured on the side so the
+                // engine can probe the cache / freeze it afterwards.
+                *diverged = true;
+                if self.hysteresis {
+                    let mut cv = state.graph.prefix_captured(i);
+                    cv.push(CapturedSpawn {
+                        label,
+                        priority,
+                        decls: deps.decls().to_vec(),
+                        body: None,
+                        id: None,
+                    });
+                    *captured = cv;
+                }
+                ctx.taskwait();
+                state.combine_partial();
+                Some((deps, body))
             }
         }
     }
@@ -308,10 +482,16 @@ impl RunIterative for Runtime {
         if iters == 0 {
             return ReplayReport::default();
         }
+        let cfg = self.config();
+        let workers = cfg.workers;
+        let cache_size = cfg.replay_cache_size.max(1);
+        let giveup_after = cfg.replay_giveup_after;
+        let recheck_every = cfg.replay_recheck_every.max(1);
+        let hysteresis = cache_size > 1;
+
         let body = Arc::new(body);
-        let capture = Arc::new(EngineCapture::new());
+        let capture = Arc::new(EngineCapture::new(workers, cache_size));
         self.set_spawn_capture(Some(Arc::clone(&capture) as _));
-        let workers = self.config().workers;
         let prev_graph_recording = self.graph_recording();
         self.clear_graph_edges();
 
@@ -322,15 +502,87 @@ impl RunIterative for Runtime {
         let result = Arc::clone(&out);
         let cap = Arc::clone(&capture);
         self.run(move |ctx| {
-            let mut graph: Option<Arc<ReplayGraph>> = None;
+            // SAFETY (all `cap.cache()` calls below): root-thread
+            // confinement — this closure is the root body.
+            macro_rules! cache {
+                () => {
+                    unsafe { cap.cache() }
+                };
+            }
+            /// The graph to schedule after finishing an iteration with
+            /// structural hash `h`: the predicted successor phase if the
+            /// cache knows one, else the graph of `h` itself.
+            fn pick_next(
+                cache: &mut GraphCache,
+                h: u64,
+                fallback: Arc<ReplayGraph>,
+            ) -> Arc<ReplayGraph> {
+                cache.predict_next(h).unwrap_or(fallback)
+            }
+
+            let mut cur: Option<Arc<ReplayGraph>> = None;
             let mut last_graph: Option<Arc<ReplayGraph>> = None;
+            // Structural hash of the previous iteration, when known
+            // (feeds the cache's phase predictor).
+            let mut prev_hash: Option<u64> = None;
+            // Consecutive iterations that failed to replay.
+            let mut fails = 0usize;
+            let mut pinned = false;
+            // Nested-domain pins are permanent: no re-stabilization
+            // probes, replay can never be safe for this body.
+            let mut pinned_forever = false;
+            let mut since_probe = 0usize;
+            let mut last_probe_hash: Option<u64> = None;
             let mut report = ReplayReport::default();
+
             for iter in 0..iters {
-                match graph.clone() {
+                if pinned {
+                    report.pinned_iterations += 1;
+                    since_probe += 1;
+                    if !pinned_forever && since_probe >= recheck_every {
+                        // Cheap hash-only probe: did the body
+                        // re-stabilize onto a cached (or repeating)
+                        // shape?
+                        since_probe = 0;
+                        cap.set_probe();
+                        body(ctx);
+                        let h = cap.end_probe();
+                        ctx.taskwait();
+                        if let Some(g) = cache!().get(h) {
+                            ctx.trace_mark(EventKind::ReplayCacheHit, iter as u64);
+                            if let Some(p) = prev_hash {
+                                cache!().note_transition(p, h);
+                            }
+                            prev_hash = Some(h);
+                            cur = Some(pick_next(cache!(), h, g));
+                            pinned = false;
+                            fails = 0;
+                            last_probe_hash = None;
+                        } else if last_probe_hash == Some(h) {
+                            // Two consecutive probes saw the same
+                            // uncached shape: record it next iteration.
+                            cur = None;
+                            prev_hash = None;
+                            pinned = false;
+                            fails = 0;
+                            last_probe_hash = None;
+                        } else {
+                            last_probe_hash = Some(h);
+                        }
+                    } else {
+                        // Plain dependency-system iteration, capture off.
+                        body(ctx);
+                        ctx.taskwait();
+                    }
+                    report.iterations += 1;
+                    continue;
+                }
+                match cur.clone() {
                     None => {
                         // Record: execute through the full dependency
                         // system with the edge tap enabled.
                         ctx.trace_mark(EventKind::ReplayRecordBegin, iter as u64);
+                        let nested0 = ctx.nested_spawn_count();
                         let _ = ctx.take_graph_edges();
                         ctx.set_graph_recording(true);
                         cap.set_record();
@@ -339,40 +591,167 @@ impl RunIterative for Runtime {
                         ctx.taskwait();
                         ctx.set_graph_recording(prev_graph_recording);
                         let tap = ctx.take_graph_edges();
+                        let nested = ctx.nested_spawn_count() - nested0;
                         let g = Arc::new(ReplayGraph::build(&captured, &tap));
                         ctx.trace_mark(EventKind::ReplayRecordEnd, g.len() as u64);
                         report.rerecords += 1;
+                        report.cache_misses += 1;
+                        report.nested_spawns += nested;
+                        fails += 1;
                         last_graph = Some(Arc::clone(&g));
-                        graph = Some(g);
+                        if hysteresis && (g.foreign_edge_count() > 0 || nested > 0) {
+                            // Nested task domains: the frozen graph
+                            // cannot see cross-sibling dependencies of
+                            // nested tasks — fall back permanently.
+                            report.pinned_nested = true;
+                            report.giveups += 1;
+                            pinned = true;
+                            pinned_forever = true;
+                            cur = None;
+                            prev_hash = None;
+                            ctx.trace_mark(EventKind::ReplayGiveUp, iter as u64);
+                        } else {
+                            let h = g.structural_hash();
+                            if hysteresis && let Some(p) = prev_hash {
+                                cache!().note_transition(p, h);
+                            }
+                            cache!().insert(Arc::clone(&g));
+                            prev_hash = Some(h);
+                            cur = Some(if hysteresis {
+                                pick_next(cache!(), h, g)
+                            } else {
+                                g
+                            });
+                        }
                     }
                     Some(g) => {
                         // Replay: spawns are matched against the frozen
                         // graph one by one and fed straight to it; a
-                        // mismatch degrades to the dependency system.
+                        // first-spawn mismatch may swap in another cached
+                        // graph (phase switch), any other mismatch
+                        // degrades to the dependency system.
                         ctx.trace_mark(EventKind::ReplayIterBegin, iter as u64);
+                        let nested0 = ctx.nested_spawn_count();
                         let state = Arc::new(IterState::new(g, workers));
                         cap.set_feed(Arc::clone(&state));
                         body(ctx);
-                        let (spawned, diverged) = cap.end_feed();
-                        let complete = !diverged && spawned == state.graph.len();
+                        let end = cap.end_feed().expect("feed mode active");
                         ctx.taskwait();
+                        let complete = !end.diverged && end.spawned == end.state.graph.len();
+                        let nested = ctx.nested_spawn_count() - nested0;
+                        // Macro (not a closure: it mutates half the loop
+                        // state) for the permanent nested-domain pin —
+                        // shared by every path that observes nesting.
+                        macro_rules! pin_nested {
+                            () => {{
+                                report.nested_spawns += nested;
+                                report.pinned_nested = true;
+                                report.giveups += 1;
+                                pinned = true;
+                                pinned_forever = true;
+                                cur = None;
+                                prev_hash = None;
+                                ctx.trace_mark(EventKind::ReplayGiveUp, iter as u64);
+                            }};
+                        }
                         if complete {
                             debug_assert_eq!(
-                                state.launched.load(Ordering::Relaxed),
-                                state.graph.len(),
+                                end.state.launched.load(Ordering::Relaxed),
+                                end.state.graph.len(),
                                 "every node released exactly once"
                             );
                             report.replayed += 1;
+                            report.cache_hits += 1;
+                            fails = 0;
+                            let h = end.state.graph.structural_hash();
+                            cache!().note_replay(h);
+                            if end.switched {
+                                ctx.trace_mark(EventKind::ReplayCacheHit, iter as u64);
+                            }
+                            if hysteresis && nested > 0 {
+                                // The body started spawning nested
+                                // children only *after* its graph was
+                                // frozen: replay cannot order them, so
+                                // stop replaying from here on.
+                                pin_nested!();
+                            } else if hysteresis {
+                                if let Some(p) = prev_hash {
+                                    cache!().note_transition(p, h);
+                                }
+                                cur = Some(pick_next(cache!(), h, Arc::clone(&end.state.graph)));
+                                prev_hash = Some(h);
+                            } else {
+                                prev_hash = Some(h);
+                            }
                         } else {
                             // Divergent (or truncated) iteration: it ran
                             // correctly via prefix + barrier + dependency
                             // system; fold any reduction groups the fed
-                            // prefix touched (no-op if the divergence path
-                            // already did) and re-record from the next
-                            // iteration.
-                            state.combine_partial();
+                            // prefix touched (no-op if the divergence
+                            // path already did).
+                            end.state.combine_partial();
                             report.diverged += 1;
-                            graph = None;
+                            fails += 1;
+                            if !hysteresis {
+                                // Original single-graph engine: discard
+                                // and blindly re-record next iteration.
+                                report.cache_misses += 1;
+                                cur = None;
+                                prev_hash = None;
+                            } else {
+                                // Hysteresis: this iteration's full
+                                // shape is known — probe the cache and
+                                // only freeze a new graph on a miss.
+                                let captured = if end.diverged {
+                                    end.captured
+                                } else {
+                                    end.state.graph.prefix_captured(end.spawned)
+                                };
+                                let h = GraphRecorder::structural_hash(&captured);
+                                if let Some(hit) = cache!().get(h) {
+                                    report.cache_hits += 1;
+                                    ctx.trace_mark(EventKind::ReplayCacheHit, iter as u64);
+                                    if nested > 0 {
+                                        pin_nested!();
+                                    } else {
+                                        if let Some(p) = prev_hash {
+                                            cache!().note_transition(p, h);
+                                        }
+                                        prev_hash = Some(h);
+                                        cur = Some(pick_next(cache!(), h, hit));
+                                    }
+                                } else {
+                                    report.rerecords += 1;
+                                    report.cache_misses += 1;
+                                    let ng = Arc::new(ReplayGraph::build(&captured, &[]));
+                                    last_graph = Some(Arc::clone(&ng));
+                                    if nested > 0 {
+                                        pin_nested!();
+                                    } else {
+                                        if let Some(p) = prev_hash {
+                                            cache!().note_transition(p, h);
+                                        }
+                                        cache!().insert(Arc::clone(&ng));
+                                        prev_hash = Some(h);
+                                        cur = Some(pick_next(cache!(), h, ng));
+                                    }
+                                }
+                                if !pinned && giveup_after > 0 && fails >= giveup_after {
+                                    // Too many consecutive failures to
+                                    // replay: stop paying record costs,
+                                    // pin to the dependency system. The
+                                    // predictor must not learn across
+                                    // the unobserved pinned stretch, so
+                                    // forget the last-seen hash too.
+                                    report.giveups += 1;
+                                    pinned = true;
+                                    since_probe = 0;
+                                    last_probe_hash = None;
+                                    cur = None;
+                                    prev_hash = None;
+                                    ctx.trace_mark(EventKind::ReplayGiveUp, iter as u64);
+                                }
+                            }
                         }
                         ctx.trace_mark(EventKind::ReplayIterEnd, iter as u64);
                     }
@@ -385,6 +764,8 @@ impl RunIterative for Runtime {
                 report.edge_list = g.edge_pairs();
                 report.foreign_edges = g.foreign_edge_count();
             }
+            report.cache_evictions = cache!().evictions();
+            report.per_graph_replays = cache!().per_graph_replays();
             *result.lock().unwrap() = report;
         });
         self.set_spawn_capture(None);
@@ -400,6 +781,21 @@ mod tests {
     use nanotask_core::{RuntimeConfig, SendPtr};
     use std::sync::atomic::AtomicU64;
 
+    /// Every iteration must be classified exactly once.
+    fn check_invariants(report: &ReplayReport) {
+        assert_eq!(
+            report.cache_hits + report.cache_misses + report.pinned_iterations,
+            report.iterations,
+            "hits + misses + pinned == total: {report:?}"
+        );
+        assert!(report.replayed + report.diverged <= report.iterations);
+        let cached_replays: u64 = report.per_graph_replays.iter().map(|&(_, _, r)| r).sum();
+        assert!(
+            cached_replays <= report.replayed as u64,
+            "cached graphs cannot claim more replays than happened: {report:?}"
+        );
+    }
+
     #[test]
     fn empty_iterations_are_fine() {
         let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
@@ -407,6 +803,7 @@ mod tests {
         assert_eq!(report.iterations, 3);
         assert_eq!(report.replayed, 2);
         assert_eq!(report.tasks, 0);
+        check_invariants(&report);
     }
 
     #[test]
@@ -435,6 +832,12 @@ mod tests {
         assert_eq!(report.diverged, 0);
         assert_eq!(report.tasks, 10);
         assert_eq!(report.edges, 9);
+        assert_eq!(report.cache_hits, 4);
+        assert_eq!(report.cache_misses, 1);
+        assert_eq!(report.per_graph_replays.len(), 1);
+        assert_eq!(report.per_graph_replays[0].1, 10, "tasks per graph");
+        assert_eq!(report.per_graph_replays[0].2, 4, "replays of the graph");
+        check_invariants(&report);
         unsafe { drop(Box::from_raw(data)) };
     }
 
@@ -453,6 +856,7 @@ mod tests {
         });
         assert_eq!(count.load(Ordering::Relaxed), 4 * 32);
         assert_eq!(report.edges, 0);
+        check_invariants(&report);
     }
 
     #[test]
@@ -481,15 +885,21 @@ mod tests {
     }
 
     #[test]
-    fn divergent_body_falls_back_and_rerecords() {
-        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+    fn single_graph_mode_falls_back_and_rerecords() {
+        // `replay_cache_size = 1` must reproduce the original engine
+        // byte for byte: every divergence discards the graph and blindly
+        // re-records on the next iteration — the alternating body never
+        // replays.
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(2)
+                .with_replay_cache_size(1),
+        );
         let a = Box::leak(Box::new(0u64)) as *mut u64;
         let b = Box::leak(Box::new(0u64)) as *mut u64;
         let (pa, pb) = (SendPtr::new(a), SendPtr::new(b));
         let iter = Arc::new(AtomicU64::new(0));
         let report = rt.run_iterative(6, move |ctx| {
-            // Alternate the target address: every replay attempt diverges
-            // from the recorded graph, so replay must never engage wrongly.
             let i = iter.fetch_add(1, Ordering::Relaxed);
             let p = if i.is_multiple_of(2) { pa } else { pb };
             for _ in 0..4 {
@@ -504,6 +914,8 @@ mod tests {
         assert_eq!(report.rerecords, 3);
         assert_eq!(report.diverged, 3);
         assert_eq!(report.replayed, 0);
+        assert_eq!(report.pinned_iterations, 0, "no give-up policy at size 1");
+        check_invariants(&report);
         unsafe {
             drop(Box::from_raw(a));
             drop(Box::from_raw(b));
@@ -511,25 +923,70 @@ mod tests {
     }
 
     #[test]
-    fn stabilizing_body_switches_back_to_replay() {
+    fn alternating_body_served_from_cache() {
+        // The same alternating body as the single-graph test, with the
+        // default cache: each phase records once, then every iteration
+        // replays — the divergence hysteresis this PR is about.
         let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
         let a = Box::leak(Box::new(0u64)) as *mut u64;
         let b = Box::leak(Box::new(0u64)) as *mut u64;
         let (pa, pb) = (SendPtr::new(a), SendPtr::new(b));
         let iter = Arc::new(AtomicU64::new(0));
-        let report = rt.run_iterative(6, move |ctx| {
-            // Iteration 0 uses `a`, the rest use `b`: one divergence (at
-            // iteration 1), one re-record (iteration 2), then clean replay.
+        let report = rt.run_iterative(8, move |ctx| {
             let i = iter.fetch_add(1, Ordering::Relaxed);
-            let p = if i == 0 { pa } else { pb };
-            ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
-                *p.get() += 1;
-            });
+            let p = if i.is_multiple_of(2) { pa } else { pb };
+            for _ in 0..4 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
         });
-        assert_eq!(unsafe { (*a, *b) }, (1, 5));
-        assert_eq!(report.rerecords, 2);
-        assert_eq!(report.diverged, 1);
-        assert_eq!(report.replayed, 3);
+        assert_eq!(unsafe { (*a, *b) }, (16, 16));
+        assert_eq!(report.rerecords, 2, "each phase recorded exactly once");
+        assert_eq!(report.diverged, 1, "only the first phase flip diverges");
+        assert_eq!(report.replayed, 6, "steady state replays every phase");
+        assert_eq!(report.cache_hits, 6);
+        assert_eq!(report.cache_misses, 2);
+        assert_eq!(report.cache_evictions, 0);
+        assert_eq!(report.per_graph_replays.len(), 2);
+        let total: u64 = report.per_graph_replays.iter().map(|&(_, _, r)| r).sum();
+        assert_eq!(total, 6);
+        check_invariants(&report);
+        unsafe {
+            drop(Box::from_raw(a));
+            drop(Box::from_raw(b));
+        }
+    }
+
+    #[test]
+    fn shared_prefix_alternation_stabilizes_via_predictor() {
+        // Phases A and B share their first three spawns and only differ
+        // at the tail, so the first-spawn switch probe cannot tell them
+        // apart — steady-state replay relies on the cache's phase
+        // predictor instead.
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+        let a = Box::leak(Box::new(0u64)) as *mut u64;
+        let b = Box::leak(Box::new(0u64)) as *mut u64;
+        let (pa, pb) = (SendPtr::new(a), SendPtr::new(b));
+        let iter = Arc::new(AtomicU64::new(0));
+        let report = rt.run_iterative(10, move |ctx| {
+            let i = iter.fetch_add(1, Ordering::Relaxed);
+            for _ in 0..3 {
+                ctx.spawn(Deps::new().readwrite_addr(pa.addr()), move |_| unsafe {
+                    *pa.get() += 1;
+                });
+            }
+            if !i.is_multiple_of(2) {
+                ctx.spawn(Deps::new().readwrite_addr(pb.addr()), move |_| unsafe {
+                    *pb.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { (*a, *b) }, (30, 5));
+        assert_eq!(report.rerecords, 2, "each phase recorded exactly once");
+        assert_eq!(report.diverged, 2, "one flip per direction, then steady");
+        assert_eq!(report.replayed, 7, "iterations 3.. replay via prediction");
+        check_invariants(&report);
         unsafe {
             drop(Box::from_raw(a));
             drop(Box::from_raw(b));
@@ -553,8 +1010,14 @@ mod tests {
             }
         });
         assert_eq!(unsafe { *data }, 10);
-        assert_eq!(report.diverged, 1);
+        // Iteration 1 truncates (freezing the 2-task prefix as its own
+        // graph); iteration 2 then overruns that short graph but its
+        // full shape hash-matches the original recording — a cache hit,
+        // not a third record.
+        assert_eq!(report.diverged, 2);
         assert_eq!(report.rerecords, 2);
+        assert_eq!(report.cache_hits, 1);
+        check_invariants(&report);
         unsafe { drop(Box::from_raw(data)) };
     }
 
@@ -605,7 +1068,10 @@ mod tests {
     fn divergence_preserves_partial_reduction_contributions() {
         // Recorded graph: a 4-member SumF64 group (+ trailing reader).
         // The next iteration feeds only 2 members before diverging; their
-        // private-slot contributions must still reach the target.
+        // private-slot contributions must still reach the target. The
+        // third iteration diverges from the frozen 2-member shape but
+        // hash-matches the original graph — the cache-hit divergence path
+        // must preserve reduction contributions just the same.
         let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
         let acc = Box::leak(Box::new(0.0f64)) as *mut f64;
         let other = Box::leak(Box::new(0u64)) as *mut u64;
@@ -635,11 +1101,167 @@ mod tests {
         // Iterations 0 and 2: 1+2+3+4 = 10 each; iteration 1: 1+2 = 3.
         assert_eq!(unsafe { *acc }, 23.0, "partial group contributions kept");
         assert_eq!(unsafe { *other }, 1);
-        assert_eq!(report.diverged, 1);
+        assert_eq!(report.diverged, 2);
+        assert_eq!(report.rerecords, 2);
+        assert_eq!(report.cache_hits, 1, "iteration 2 matches the recording");
+        check_invariants(&report);
         unsafe {
             drop(Box::from_raw(acc));
             drop(Box::from_raw(other));
         }
+    }
+
+    #[test]
+    fn permanently_dynamic_body_gives_up_and_pins() {
+        // A body whose shape never repeats: after `replay_giveup_after`
+        // consecutive failures the engine pins it to the dependency
+        // system; hash probes never see a repeat, so it stays pinned.
+        const ITERS: usize = 20;
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(2)
+                .with_replay_giveup_after(3)
+                .with_replay_recheck_every(4),
+        );
+        let slots = Box::leak(vec![0u64; ITERS].into_boxed_slice());
+        let base = SendPtr::new(slots.as_mut_ptr());
+        let iter = Arc::new(AtomicU64::new(0));
+        let report = rt.run_iterative(ITERS, move |ctx| {
+            let i = iter.fetch_add(1, Ordering::Relaxed) as usize;
+            let p = unsafe { base.add(i) };
+            for _ in 0..2 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(*s, 2, "slot {i} ran in every mode");
+        }
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.giveups, 1);
+        // Record + two divergences hit the threshold of 3; the rest of
+        // the run is pinned.
+        assert_eq!(report.rerecords, 3);
+        assert_eq!(report.pinned_iterations, ITERS - 3);
+        check_invariants(&report);
+        unsafe { drop(Box::from_raw(slots as *mut [u64])) };
+    }
+
+    #[test]
+    fn pinned_body_restabilizes_to_cached_graph() {
+        // Stable phase A, a dynamic burst that pins the body, then back
+        // to A: the periodic hash probe finds A in the cache and replay
+        // resumes.
+        const ITERS: usize = 8;
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(2)
+                .with_replay_giveup_after(2)
+                .with_replay_recheck_every(2),
+        );
+        let a = Box::leak(Box::new(0u64)) as *mut u64;
+        let noise = Box::leak(vec![0u64; ITERS].into_boxed_slice());
+        let pa = SendPtr::new(a);
+        let pn = SendPtr::new(noise.as_mut_ptr());
+        let iter = Arc::new(AtomicU64::new(0));
+        let report = rt.run_iterative(ITERS, move |ctx| {
+            let i = iter.fetch_add(1, Ordering::Relaxed) as usize;
+            if (2..4).contains(&i) {
+                // Dynamic burst: a unique shape per iteration.
+                let p = unsafe { pn.add(i) };
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            } else {
+                ctx.spawn(Deps::new().readwrite_addr(pa.addr()), move |_| unsafe {
+                    *pa.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { *a }, (ITERS - 2) as u64);
+        assert_eq!((noise[2], noise[3]), (1, 1));
+        // it0 record A, it1 replay A, it2/it3 diverge (pin at the 2nd
+        // consecutive failure), it4 pinned, it5 probe hits A, it6..7
+        // replay A again.
+        assert_eq!(report.giveups, 1);
+        assert_eq!(report.replayed, 3);
+        assert_eq!(report.pinned_iterations, 2);
+        assert!(!report.pinned_nested);
+        check_invariants(&report);
+        unsafe {
+            drop(Box::from_raw(a));
+            drop(Box::from_raw(noise as *mut [u64]));
+        }
+    }
+
+    #[test]
+    fn nested_spawning_body_is_pinned_not_replayed() {
+        // Replay cannot see cross-sibling dependencies of nested tasks,
+        // so a body whose tasks spawn children must be pinned to the
+        // dependency system after the record iteration detects nesting.
+        const ITERS: usize = 5;
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let report = rt.run_iterative(ITERS, move |ctx| {
+            for _ in 0..3 {
+                let c = Arc::clone(&c);
+                ctx.spawn(Deps::new(), move |tc| {
+                    let c = Arc::clone(&c);
+                    tc.spawn(Deps::new(), move |_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), (3 * ITERS) as u64);
+        assert!(report.pinned_nested, "nested domains force fallback");
+        assert!(report.nested_spawns >= 3);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.rerecords, 1);
+        assert_eq!(report.pinned_iterations, ITERS - 1);
+        check_invariants(&report);
+    }
+
+    #[test]
+    fn late_nesting_body_stops_replaying() {
+        // Nested children appear only *after* the graph was recorded
+        // (record saw no nesting, so the graph got cached): the replay
+        // path must notice the nested-spawn delta and pin, not keep
+        // replaying a graph that cannot order the children.
+        const ITERS: usize = 6;
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
+        let count = Arc::new(AtomicU64::new(0));
+        let iter = Arc::new(AtomicU64::new(0));
+        let report = {
+            let (count, iter) = (Arc::clone(&count), Arc::clone(&iter));
+            rt.run_iterative(ITERS, move |ctx| {
+                let i = iter.fetch_add(1, Ordering::Relaxed);
+                for _ in 0..2 {
+                    let count = Arc::clone(&count);
+                    ctx.spawn(Deps::new(), move |tc| {
+                        if i >= 2 {
+                            let count = Arc::clone(&count);
+                            tc.spawn(Deps::new(), move |_| {
+                                count.fetch_add(1, Ordering::Relaxed);
+                            });
+                        } else {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            })
+        };
+        assert_eq!(count.load(Ordering::Relaxed), (2 * ITERS) as u64);
+        // Iterations 0/1 record + replay cleanly; iteration 2 replays
+        // but observes nested spawns and pins; 3.. stay pinned.
+        assert!(report.pinned_nested, "{report:?}");
+        assert_eq!(report.nested_spawns, 2, "{report:?}");
+        assert_eq!(report.replayed, 2, "{report:?}");
+        assert_eq!(report.pinned_iterations, ITERS - 3, "{report:?}");
+        assert_eq!(report.giveups, 1);
+        check_invariants(&report);
     }
 
     #[test]
@@ -672,12 +1294,14 @@ mod tests {
 
     #[test]
     fn divergent_replay_correct_under_fast_path() {
-        // Divergence mid-iteration taskwaits on the fed prefix — the
-        // deferred-release flush at taskwait entry must make that safe.
+        // Single-graph mode: divergence mid-iteration taskwaits on the
+        // fed prefix every other iteration — the deferred-release flush
+        // at taskwait entry must make that safe, repeatedly.
         let rt = Runtime::new(
             nanotask_core::RuntimeConfig::optimized()
                 .workers(2)
-                .fast_path(true),
+                .fast_path(true)
+                .with_replay_cache_size(1),
         );
         let a = Box::leak(Box::new(0u64)) as *mut u64;
         let b = Box::leak(Box::new(0u64)) as *mut u64;
@@ -702,6 +1326,41 @@ mod tests {
     }
 
     #[test]
+    fn alternating_replay_correct_under_fast_path() {
+        // Cached mode + zero-queue fast path: the phase switch swaps the
+        // feed target before anything was committed, so every phase
+        // replays and the deferred-release machinery sees only complete
+        // iterations.
+        let rt = Runtime::new(
+            nanotask_core::RuntimeConfig::optimized()
+                .workers(2)
+                .fast_path(true),
+        );
+        let a = Box::leak(Box::new(0u64)) as *mut u64;
+        let b = Box::leak(Box::new(0u64)) as *mut u64;
+        let (pa, pb) = (SendPtr::new(a), SendPtr::new(b));
+        let iter = Arc::new(AtomicU64::new(0));
+        let report = rt.run_iterative(6, move |ctx| {
+            let i = iter.fetch_add(1, Ordering::Relaxed);
+            let p = if i.is_multiple_of(2) { pa } else { pb };
+            for _ in 0..4 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { (*a, *b) }, (12, 12));
+        assert_eq!(report.diverged, 1);
+        assert_eq!(report.replayed, 4);
+        assert_eq!(rt.live_tasks(), 0);
+        check_invariants(&report);
+        unsafe {
+            drop(Box::from_raw(a));
+            drop(Box::from_raw(b));
+        }
+    }
+
+    #[test]
     fn tasks_reclaimed_after_replay() {
         let rt = Runtime::new(RuntimeConfig::optimized().workers(2));
         let data = Box::leak(Box::new(0u64)) as *mut u64;
@@ -717,5 +1376,35 @@ mod tests {
         let s = rt.stats();
         assert_eq!(s.tasks_created, s.tasks_freed);
         unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn cache_evictions_are_counted() {
+        // Period-3 phase cycle with a 2-entry cache: the third shape
+        // always evicts, so the cycle can never fully stabilize and the
+        // eviction counter grows.
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(2)
+                .with_replay_cache_size(2)
+                .with_replay_giveup_after(0),
+        );
+        let slots = Box::leak(vec![0u64; 3].into_boxed_slice());
+        let base = SendPtr::new(slots.as_mut_ptr());
+        let iter = Arc::new(AtomicU64::new(0));
+        let report = rt.run_iterative(9, move |ctx| {
+            let i = iter.fetch_add(1, Ordering::Relaxed) as usize;
+            let p = unsafe { base.add(i % 3) };
+            ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                *p.get() += 1;
+            });
+        });
+        for s in slots.iter() {
+            assert_eq!(*s, 3);
+        }
+        assert!(report.cache_evictions > 0, "{report:?}");
+        assert_eq!(report.pinned_iterations, 0, "give-up disabled");
+        check_invariants(&report);
+        unsafe { drop(Box::from_raw(slots as *mut [u64])) };
     }
 }

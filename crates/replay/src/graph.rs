@@ -42,6 +42,11 @@ pub struct ReplayNode {
     /// Reduction accesses: the bare declaration (no chain state attached)
     /// and the index of the [`RedGroup`] it participates in.
     pub red: Vec<(AccessDecl, usize)>,
+    /// The full recorded access set, exactly as captured (bare, no chain
+    /// state). Kept so a divergent iteration can reconstruct the
+    /// already-fed prefix as [`CapturedSpawn`]s and freeze its *own*
+    /// graph without a dedicated re-record pass.
+    pub decls: Vec<AccessDecl>,
 }
 
 /// A reduction chain instance: consecutive same-op reduction accesses on
@@ -103,6 +108,13 @@ fn merge_modes(a: AccessMode, b: AccessMode) -> AccessMode {
     if a == b { a } else { AccessMode::ReadWrite }
 }
 
+/// A declaration stripped of any attached reduction-chain state (replay
+/// graphs never own chain instances — the engine attaches fresh ones per
+/// iteration).
+fn bare_decl(d: &AccessDecl) -> AccessDecl {
+    AccessDecl::new(d.addr, d.len, d.mode)
+}
+
 /// One task's declarations with duplicate addresses coalesced
 /// (first-occurrence order, strongest mode wins).
 fn coalesced(decls: &[AccessDecl]) -> Vec<AccessDecl> {
@@ -133,6 +145,7 @@ impl ReplayGraph {
                 succs: Vec::new(),
                 indeg: 0,
                 red: Vec::new(),
+                decls: c.decls.iter().map(bare_decl).collect(),
             })
             .collect();
         let mut groups: Vec<RedGroup> = Vec::new();
@@ -259,6 +272,30 @@ impl ReplayGraph {
     /// Structural hash of the recorded iteration.
     pub fn structural_hash(&self) -> u64 {
         self.hash
+    }
+
+    /// Signature hash of the first recorded spawn (`None` for an empty
+    /// graph) — the cache's phase-switch lookup key.
+    pub fn first_sig(&self) -> Option<u64> {
+        self.nodes.first().map(|n| n.sig)
+    }
+
+    /// Reconstruct the first `n` recorded spawns as [`CapturedSpawn`]s
+    /// (metadata only, no bodies/ids). Used by the replay engine to
+    /// freeze a divergent iteration's graph: its already-fed prefix
+    /// matched these nodes by signature hash, so the recorded metadata
+    /// stands in for the spawns actually observed.
+    pub fn prefix_captured(&self, n: usize) -> Vec<CapturedSpawn> {
+        self.nodes[..n.min(self.nodes.len())]
+            .iter()
+            .map(|nd| CapturedSpawn {
+                label: nd.label,
+                priority: nd.priority,
+                decls: nd.decls.clone(),
+                body: None,
+                id: None,
+            })
+            .collect()
     }
 
     /// Total (deduplicated) edges.

@@ -32,11 +32,25 @@
 //!    in-degree counter hits zero.
 //!
 //! Divergence is detected by a cheap structural hash (FNV-1a over
-//! labels, priorities and access sets, in creation order): if an
-//! iteration spawns a different graph, the captured bodies are re-spawned
-//! through the normal dependency system and the graph is re-recorded
-//! from the new structure — correctness never depends on the graphs
-//! actually matching.
+//! labels, priorities and access sets, in creation order) and handled
+//! with *hysteresis*: up to [`nanotask_core::RuntimeConfig::replay_cache_size`]
+//! frozen graphs are kept in a [`GraphCache`] keyed by that hash, so a
+//! body alternating between a few shapes (miniAMR-style refine/coarsen
+//! phases) records each shape once and then replays every phase — a
+//! diverging iteration first probes the cache (by first-spawn signature
+//! mid-switch, by full structural hash afterwards, and through a
+//! one-step phase predictor) and only freezes a new graph on a miss.
+//! A body that keeps diverging is pinned to the dependency system after
+//! [`nanotask_core::RuntimeConfig::replay_giveup_after`] consecutive
+//! failures (with a cheap hash-only re-stabilization probe every
+//! [`nanotask_core::RuntimeConfig::replay_recheck_every`] iterations),
+//! and a recorded iteration containing nested task domains — detected
+//! via foreign dependency edges plus the runtime's nested-spawn counter
+//! — is pinned immediately. Correctness never depends on the graphs
+//! actually matching: a divergent iteration awaits its replayed prefix
+//! and runs the rest through the dependency system.
+//! `replay_cache_size = 1` restores the original single-graph engine
+//! (discard on divergence, blind re-record) byte for byte.
 //!
 //! The public surface is the [`RunIterative`] extension trait:
 //!
@@ -63,20 +77,35 @@
 //!
 //! ## Scope and limitations
 //!
-//! * Only *root-level* spawns are captured; nested children spawned by
-//!   replayed tasks run through the normal dependency system inside
-//!   their parent's domain. Cross-sibling dependencies of nested tasks
-//!   are not enforced during replay (none of the §6.1 workloads need
-//!   them) — see ROADMAP "taskwait nesting".
+//! * Only *root-level* spawns are captured. Nested task domains are
+//!   **detected** — foreign dependency edges at record time, plus the
+//!   runtime's nested-spawn counter on every graph-building and
+//!   replayed iteration — and force permanent dependency-system
+//!   fallback ([`ReplayReport::pinned_nested`]): replay cannot enforce
+//!   the *parents'* recorded ordering around nested children. A body
+//!   that nests from the start is caught at record time and never
+//!   replays. A body that *starts* nesting mid-run is pinned at the end
+//!   of the first iteration whose replay observed nested spawns —
+//!   detection cannot precede the first nested spawn, so that one
+//!   iteration is a known hazard window: a nested child conflicting
+//!   with a *replayed root* task is unordered during it (the root
+//!   bypassed dependency registration), unlike at record time where the
+//!   dependency system ordered both. Two carve-outs are deliberate:
+//!   `replay_cache_size = 1` reproduces the original engine byte for
+//!   byte *including* its no-pinning nested-domain limitation, and the
+//!   hazard window above. *Recording* nested domains (which would close
+//!   both) remains open — see ROADMAP "taskwait nesting".
 //! * Iteration boundaries are barriers: replay trades the dependency
 //!   system's cross-iteration pipelining for zero dependency-system
 //!   cost, which is the winning trade at fine granularity (the
 //!   `fig12_replay_speedup` experiment).
 
+mod cache;
 mod engine;
 mod graph;
 mod recorder;
 
+pub use cache::GraphCache;
 pub use engine::{ReplayReport, RunIterative};
 pub use graph::{RedGroup, ReplayGraph, ReplayNode};
 pub use recorder::{CaptureMode, CapturedSpawn, GraphRecorder};

@@ -53,11 +53,15 @@ fn fnv(mut h: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
     h
 }
 
+/// FNV-1a offset basis — the seed of both [`spawn_sig_hash`] and the
+/// iteration-level structural hash.
+pub const STRUCTURAL_HASH_SEED: u64 = 0xcbf29ce484222325;
+
 /// Signature hash of one spawn: label, priority and access set. The
 /// replay engine matches incoming spawns against recorded nodes with
 /// this (cheap, allocation-free) hash.
 pub fn spawn_sig_hash(label: &str, priority: i32, decls: &[AccessDecl]) -> u64 {
-    let mut h = fnv(0xcbf29ce484222325, label.bytes());
+    let mut h = fnv(STRUCTURAL_HASH_SEED, label.bytes());
     h = fnv(h, (priority as u64).to_le_bytes());
     h = fnv(h, (decls.len() as u64).to_le_bytes());
     for d in decls {
@@ -66,6 +70,15 @@ pub fn spawn_sig_hash(label: &str, priority: i32, decls: &[AccessDecl]) -> u64 {
         h = fnv(h, mode_tag(d.mode).to_le_bytes());
     }
     h
+}
+
+/// Fold one spawn's [`spawn_sig_hash`] into a running structural hash.
+/// Chaining every spawn of an iteration from [`STRUCTURAL_HASH_SEED`]
+/// yields [`GraphRecorder::structural_hash`] — this incremental form is
+/// what the replay engine's pinned-mode probe computes without buffering
+/// anything.
+pub fn chain_structural_hash(h: u64, sig: u64) -> u64 {
+    fnv(h, sig.to_le_bytes())
 }
 
 impl GraphRecorder {
@@ -100,12 +113,9 @@ impl GraphRecorder {
     /// with equal hashes spawn the same graph shape over the same
     /// addresses — the replay engine's divergence check.
     pub fn structural_hash(captured: &[CapturedSpawn]) -> u64 {
-        let mut h: u64 = 0xcbf29ce484222325;
+        let mut h = STRUCTURAL_HASH_SEED;
         for c in captured {
-            h = fnv(
-                h,
-                spawn_sig_hash(c.label, c.priority, &c.decls).to_le_bytes(),
-            );
+            h = chain_structural_hash(h, spawn_sig_hash(c.label, c.priority, &c.decls));
         }
         h
     }
@@ -205,6 +215,21 @@ mod tests {
         assert_ne!(ha, GraphRecorder::structural_hash(&c), "priority");
         assert_ne!(ha, GraphRecorder::structural_hash(&d), "label");
         assert_eq!(ha, GraphRecorder::structural_hash(&a), "stable");
+    }
+
+    #[test]
+    fn incremental_hash_matches_structural_hash() {
+        let seq = vec![
+            cap("a", 0, vec![AccessDecl::new(0x10, 8, AccessMode::Read)]),
+            cap("b", 2, vec![AccessDecl::new(0x20, 8, AccessMode::Write)]),
+            cap("c", 0, vec![]),
+        ];
+        let mut h = STRUCTURAL_HASH_SEED;
+        for c in &seq {
+            h = chain_structural_hash(h, spawn_sig_hash(c.label, c.priority, &c.decls));
+        }
+        assert_eq!(h, GraphRecorder::structural_hash(&seq));
+        assert_eq!(STRUCTURAL_HASH_SEED, GraphRecorder::structural_hash(&[]));
     }
 
     #[test]

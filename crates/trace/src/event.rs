@@ -67,6 +67,15 @@ pub enum EventKind {
     /// A batch of ready tasks was added to the scheduler in one
     /// operation (amortized locks/buffers). Payload: batch size.
     ReadyBatch = 23,
+    /// The replay engine's graph cache matched an iteration to an
+    /// already-frozen graph (phase switch, divergence probe, or pinned
+    /// re-stabilization probe) — no re-record needed. Payload: iteration
+    /// index.
+    ReplayCacheHit = 24,
+    /// The replay engine gave up on recording (too many consecutive
+    /// divergences, or nested task domains detected) and pinned the body
+    /// to the dependency system. Payload: iteration index.
+    ReplayGiveUp = 25,
 }
 
 impl EventKind {
@@ -98,6 +107,8 @@ impl EventKind {
             21 => ReplayIterEnd,
             22 => InlineRun,
             23 => ReadyBatch,
+            24 => ReplayCacheHit,
+            25 => ReplayGiveUp,
             _ => return None,
         })
     }
@@ -130,6 +141,8 @@ impl EventKind {
             ReplayIterEnd,
             InlineRun,
             ReadyBatch,
+            ReplayCacheHit,
+            ReplayGiveUp,
         ]
     }
 }
@@ -161,7 +174,7 @@ mod tests {
     #[test]
     fn unknown_kind_rejected() {
         assert_eq!(EventKind::from_u8(200), None);
-        assert_eq!(EventKind::from_u8(24), None);
+        assert_eq!(EventKind::from_u8(26), None);
     }
 
     #[test]

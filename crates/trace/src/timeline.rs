@@ -293,7 +293,9 @@ impl Timeline {
                 | EventKind::ReplayIterBegin
                 | EventKind::ReplayIterEnd
                 | EventKind::InlineRun
-                | EventKind::ReadyBatch => {}
+                | EventKind::ReadyBatch
+                | EventKind::ReplayCacheHit
+                | EventKind::ReplayGiveUp => {}
             }
         }
         // Close any open interval at the trace end.

@@ -209,6 +209,42 @@ impl IterativeWorkload for Heat {
     }
 }
 
+impl Heat {
+    /// Phase-alternating replay driver: timestep `t` uses block size
+    /// `sizes[t % sizes.len()]`, so the spawned task graph alternates
+    /// between `sizes.len()` distinct shapes — the `fig14_graph_cache`
+    /// stress. Every block size still performs one full Gauss–Seidel
+    /// sweep in row-major cell order, so [`Workload::verify`] holds
+    /// regardless of the phase pattern. Returns the full
+    /// [`nanotask_replay::ReplayReport`]: with a graph cache of at least
+    /// `sizes.len()` each shape records once and all later timesteps
+    /// replay; with `replay_cache_size = 1` every phase change
+    /// re-records (the pre-cache engine).
+    pub fn run_phased_replay(
+        &mut self,
+        rt: &Runtime,
+        sizes: &[usize],
+    ) -> nanotask_replay::ReplayReport {
+        assert!(!sizes.is_empty());
+        let sizes: Vec<usize> = sizes.iter().map(|&bs| bs.clamp(1, self.n)).collect();
+        for &bs in &sizes {
+            assert_eq!(self.n % bs, 0);
+        }
+        self.grid = Self::initial(self.n);
+        *self.residual = 0.0;
+        let n = self.n;
+        let stride = n + 2;
+        let g = SendPtr::new(self.grid.as_mut_ptr());
+        let res = SendPtr::new(&mut *self.residual as *mut f64);
+        let step = std::sync::atomic::AtomicUsize::new(0);
+        rt.run_iterative(self.steps, move |ctx| {
+            let t = step.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let bs = sizes[t % sizes.len()];
+            spawn_timestep(ctx, g, res, bs, n / bs, stride);
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +258,32 @@ mod tests {
             w.run_replay(&rt, bs);
             w.verify().unwrap_or_else(|e| panic!("replay bs={bs}: {e}"));
         }
+    }
+
+    #[test]
+    fn phased_replay_alternating_block_sizes_verifies_and_caches() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3));
+        let mut w = Heat::new(1).with_steps(8);
+        let report = w.run_phased_replay(&rt, &[8, 16]);
+        w.verify().unwrap_or_else(|e| panic!("phased replay: {e}"));
+        // Two shapes: each records once, the other 6 timesteps replay.
+        assert_eq!(report.rerecords, 2);
+        assert_eq!(report.replayed, 6);
+        assert_eq!(report.diverged, 1, "only the first phase flip diverges");
+    }
+
+    #[test]
+    fn phased_replay_single_graph_mode_rerecords_every_flip() {
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(3)
+                .with_replay_cache_size(1),
+        );
+        let mut w = Heat::new(1).with_steps(6);
+        let report = w.run_phased_replay(&rt, &[8, 16]);
+        w.verify().unwrap();
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.rerecords, 3);
     }
 
     #[test]

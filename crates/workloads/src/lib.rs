@@ -65,11 +65,12 @@ pub trait Workload {
     fn verify(&self) -> Result<(), String>;
 }
 
-/// A workload whose timesteps spawn an identical task graph, so it can
-/// be driven through the record & replay subsystem
-/// ([`nanotask_replay::RunIterative`]): the dependency graph is captured
-/// on the first timestep and replayed with plain atomic in-degree
-/// counters on the rest, eliminating per-iteration dependency-system
+/// A workload whose timesteps spawn an identical — or, since the replay
+/// engine grew a multi-graph cache, *cyclically phase-alternating* —
+/// task graph, so it can be driven through the record & replay
+/// subsystem ([`nanotask_replay::RunIterative`]): each distinct graph
+/// shape is captured once and replayed with plain atomic in-degree
+/// counters afterwards, eliminating per-iteration dependency-system
 /// cost. `run_replay` must produce the same result `verify` expects
 /// from [`Workload::run`].
 pub trait IterativeWorkload: Workload {
@@ -107,6 +108,7 @@ pub fn iterative_workloads(scale: usize) -> Vec<Box<dyn IterativeWorkload>> {
         Box::new(heat::Heat::new(scale)),
         Box::new(hpccg::Hpccg::new(scale)),
         Box::new(nbody::NBody::new(scale)),
+        Box::new(miniamr::MiniAmr::new(scale)),
     ]
 }
 
@@ -116,6 +118,7 @@ pub fn iterative_workload_by_name(name: &str, scale: usize) -> Option<Box<dyn It
         "heat" | "gauss-seidel" => Box::new(heat::Heat::new(scale)),
         "hpccg" => Box::new(hpccg::Hpccg::new(scale)),
         "nbody" => Box::new(nbody::NBody::new(scale)),
+        "miniamr" => Box::new(miniamr::MiniAmr::new(scale)),
         _ => return None,
     })
 }
