@@ -8,10 +8,19 @@
 //! worker is stuck spinning in the scheduler lock, which is exactly what
 //! the PTLock variant suffers: "adding and getting a ready task requires
 //! obtaining a shared lock ... most cores starve").
+//!
+//! The second section is replay-aware: a traced `run_iterative` of the
+//! heat workload is split into its **record** and **replay** phases via
+//! the `ReplayRecordBegin/End` / `ReplayIterBegin/End` events
+//! (`Timeline::record_vs_replay`), quantifying what the replay subsystem
+//! claims — replayed iterations spend a larger fraction of their
+//! wall-clock running task bodies because dependency registration and
+//! release are gone.
 
 use nanotask_bench::Opts;
 use nanotask_core::{Platform, Runtime, RuntimeConfig};
-use nanotask_trace::timeline::Timeline;
+use nanotask_trace::timeline::{PhaseStats, Timeline};
+use nanotask_workloads::heat::Heat;
 use nanotask_workloads::{Workload, workload_by_name};
 use std::time::Instant;
 
@@ -77,5 +86,53 @@ fn main() {
     for r in &rows {
         println!("\n## timeline: {}", r.label);
         print!("{}", r.tl.render_ascii(100));
+    }
+
+    replay_phase_split(opts);
+}
+
+/// Replay-aware timeline analysis: split a traced `run_iterative` of the
+/// heat workload into record vs replay phases and compare how the cores
+/// spend their time in each.
+fn replay_phase_split(opts: Opts) {
+    let workers = opts.workers_for(Platform::XEON);
+    let rt = Runtime::new(RuntimeConfig::optimized().workers(workers).tracing(true));
+    let mut heat = Heat::new(opts.scale).with_steps(12);
+    let bs = heat.block_sizes()[0]; // finest blocks = most runtime stress
+    nanotask_workloads::IterativeWorkload::run_replay(&mut heat, &rt, bs);
+    heat.verify().expect("heat verification");
+    let tl = Timeline::build(&rt.trace());
+    println!("\n## record vs replay phase split (heat, 12 timesteps, finest blocks)");
+    match tl.record_vs_replay() {
+        None => println!("# no phase events in trace (tracing off?)"),
+        Some((rec, rep)) => {
+            let fmt = |label: &str, p: &PhaseStats| {
+                let run_frac = if p.wall_ns == 0 {
+                    0.0
+                } else {
+                    p.stats.running_ns as f64 / (p.wall_ns as f64 * workers as f64)
+                };
+                println!(
+                    "  {label:<8} windows={:<3} mean_window={:>9}ns tasks={:<6} running%={:>5.1} idle%={:>5.1}",
+                    p.windows,
+                    p.mean_window_ns(),
+                    p.stats.tasks_run,
+                    100.0 * run_frac,
+                    100.0 * p.stats.starvation(),
+                );
+            };
+            fmt("record", &rec);
+            fmt("replay", &rep);
+            if rec.mean_window_ns() > 0 && rep.mean_window_ns() > 0 {
+                println!(
+                    "# mean replayed iteration is {:.2}x the mean recorded one (wall-clock)",
+                    rec.mean_window_ns() as f64 / rep.mean_window_ns() as f64
+                );
+            }
+            // The first phase windows in time order, as a sanity trail.
+            for p in tl.replay_phases().iter().take(6) {
+                println!("#   phase={:?} iter={} span={}ns", p.phase, p.iter, p.len());
+            }
+        }
     }
 }

@@ -32,9 +32,9 @@ use nanotask_bench::Opts;
 use nanotask_bench::json::{self, Json};
 use nanotask_core::{Runtime, RuntimeConfig};
 use nanotask_replay::ReplayReport;
-use nanotask_workloads::Workload;
 use nanotask_workloads::heat::Heat;
 use nanotask_workloads::miniamr::MiniAmr;
+use nanotask_workloads::{IterativeWorkload, Workload};
 
 /// One measured phase-alternating run: best wall time over `reps` plus
 /// the (identical-per-rep) replay report of the last repetition.

@@ -47,11 +47,11 @@ pub mod task;
 
 pub use deps::reduction::RedOp;
 pub use deps::{AccessDecl, AccessMode, Deps, DepsKind};
-pub use platform::Platform;
+pub use platform::{Platform, Topology};
 pub use runtime::{
     HeldTask, RunReport, Runtime, RuntimeConfig, RuntimeStats, SpawnCapture, TaskCtx,
 };
-pub use sched::{SchedKind, SchedOpStats};
+pub use sched::{NodeOpStats, SchedKind, SchedOpStats};
 pub use task::{TaskBody, TaskId};
 
 /// A raw pointer that asserts `Send`/`Sync`, for moving addresses of user

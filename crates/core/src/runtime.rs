@@ -77,7 +77,10 @@ pub trait SpawnCapture: Send + Sync {
 ///
 /// The raw pointer is only valid until the task executes; see
 /// [`HeldTask::into_raw`] for the safety contract of round-tripping it.
+/// `repr(transparent)` so a `&[HeldTask]` batch can be handed to the
+/// scheduler as `&[TaskPtr]` without copying.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(transparent)]
 pub struct HeldTask(*mut Task);
 
 unsafe impl Send for HeldTask {}
@@ -159,6 +162,16 @@ pub struct RuntimeConfig {
     /// re-stabilized onto a cached or repeating shape. Ignored when
     /// `replay_cache_size` is 1.
     pub replay_recheck_every: usize,
+    /// NUMA-aware replay partitioning: partition every frozen replay
+    /// graph across the runtime's NUMA nodes and route each released
+    /// batch to its partition's node via the scheduler's node-targeted
+    /// insertion, turning replay into a locality-aware static schedule.
+    /// Like the zero-queue fast path, this trades strict global queue
+    /// ordering (and, under [`crate::sched::Policy::Priority`], strict
+    /// priority order) for placement: routed tasks are served FIFO per
+    /// node ahead of the global policy queue. Off by default — every
+    /// path is byte-identical with the knob off.
+    pub replay_partitioning: bool,
     /// Name shown by benchmark harnesses.
     pub label: &'static str,
 }
@@ -191,6 +204,7 @@ impl RuntimeConfig {
             replay_cache_size: 4,
             replay_giveup_after: 8,
             replay_recheck_every: 16,
+            replay_partitioning: false,
             label: "optimized",
         }
     }
@@ -375,6 +389,29 @@ impl RuntimeConfig {
         self
     }
 
+    /// Toggle NUMA-aware replay partitioning (see
+    /// [`RuntimeConfig::replay_partitioning`]; off by default). Only
+    /// affects `run_iterative` — plain `run` never partitions.
+    pub fn with_replay_partitioning(mut self, on: bool) -> Self {
+        self.replay_partitioning = on;
+        self
+    }
+
+    /// Set the NUMA-node count (alias of [`RuntimeConfig::numa`], the
+    /// spelling the partitioning knobs use).
+    pub fn with_numa_nodes(self, n: usize) -> Self {
+        self.numa(n)
+    }
+
+    /// Set the NUMA-node count from the environment/host
+    /// ([`crate::platform::Topology::detect`]): `NANOTASK_NUMA_NODES`
+    /// when set, a deterministic host-parallelism-based fallback
+    /// otherwise.
+    pub fn with_detected_numa(self) -> Self {
+        let nodes = crate::platform::Topology::detect(self.workers).nodes();
+        self.numa(nodes)
+    }
+
     /// The four §6.2 ablation configurations, in paper order.
     pub fn ablations() -> Vec<RuntimeConfig> {
         vec![
@@ -396,8 +433,12 @@ pub struct RunReport {
     /// Task life-cycle and allocator counters.
     pub stats: RuntimeStats,
     /// Scheduler operation counters (adds, batch adds, pops, pop-cache
-    /// hits, lock acquisitions).
+    /// hits, lock acquisitions, node-targeted adds).
     pub sched: crate::sched::SchedOpStats,
+    /// Per-NUMA-node insertion counters (one entry per node; empty for
+    /// schedulers without per-node structures) — the evidence behind the
+    /// NUMA-aware replay partitioning claim (`fig15_numa_replay`).
+    pub node_stats: Vec<crate::sched::NodeOpStats>,
     /// Task activations that skipped the scheduler queue entirely
     /// (immediate-successor inline runs).
     pub inline_runs: u64,
@@ -438,6 +479,9 @@ pub struct RuntimeStats {
 
 pub(crate) struct Shared {
     pub cfg: RuntimeConfig,
+    /// The realized worker→NUMA-node placement (contiguous blocks over
+    /// `cfg.numa_nodes`); every placement-aware layer reads this one map.
+    pub topology: crate::platform::Topology,
     pub sched: Arc<dyn Scheduler>,
     pub deps: Arc<dyn DependencySystem>,
     pub alloc: Arc<dyn RuntimeAllocator>,
@@ -852,6 +896,38 @@ impl TaskCtx<'_> {
         }
     }
 
+    /// Release a batch of tasks created by [`TaskCtx::spawn_held`],
+    /// handing them to the scheduler *targeted at NUMA node `node`*
+    /// ([`crate::sched::Scheduler::add_ready_batch_to`]) — the NUMA-aware
+    /// replay partitioning release path: the replay engine knows which
+    /// partition each released task belongs to, so the batch goes
+    /// straight into that node's add buffer instead of the releasing
+    /// worker's home buffer.
+    ///
+    /// Unlike [`TaskCtx::release_held`], targeted releases are never
+    /// deferred by the zero-queue fast path: the whole point is placing
+    /// the tasks on their assigned node *now*, and direct insertion
+    /// during a task body is always safe (it is the pre-fast-path
+    /// behavior). Each handle must be released exactly once.
+    pub fn release_held_batch_to(&self, node: usize, tasks: &[HeldTask]) {
+        if tasks.is_empty() {
+            return;
+        }
+        for h in tasks {
+            let became_ready = unsafe { (*h.0).unblock() };
+            debug_assert!(became_ready, "held task released twice");
+        }
+        let w = self.worker;
+        // SAFETY: `HeldTask` and `TaskPtr` are both `repr(transparent)`
+        // over `*mut Task`.
+        let batch: &[TaskPtr] =
+            unsafe { core::slice::from_raw_parts(tasks.as_ptr() as *const TaskPtr, tasks.len()) };
+        let mut rec = w.recorder.borrow_mut();
+        w.shared
+            .sched
+            .add_ready_batch_to(node, batch, w.id, Some(&mut rec));
+    }
+
     /// OmpSs-2 `taskwait on(...)`: block until every earlier task whose
     /// accesses conflict with `deps` has completed — without waiting for
     /// unrelated children. Implemented exactly as the model defines it: an
@@ -1189,7 +1265,9 @@ impl Runtime {
         let alloc = make_allocator(cfg.alloc, cfg.workers + 1);
         let tracer = Tracer::new(cfg.workers, cfg.trace);
         let noise = cfg.noise.map(NoiseInjector::new);
+        let topology = crate::platform::Topology::contiguous(cfg.workers, cfg.numa_nodes);
         let shared = Arc::new(Shared {
+            topology,
             sched,
             deps,
             alloc,
@@ -1273,6 +1351,11 @@ impl Runtime {
         &self.shared.cfg
     }
 
+    /// The realized worker→NUMA-node placement of this runtime.
+    pub fn topology(&self) -> &crate::platform::Topology {
+        &self.shared.topology
+    }
+
     /// Aggregate counters.
     pub fn stats(&self) -> RuntimeStats {
         let deps_deliveries = if let DepsKind::WaitFree = self.shared.cfg.deps {
@@ -1304,6 +1387,7 @@ impl Runtime {
         RunReport {
             stats: self.stats(),
             sched: self.shared.sched.op_stats(),
+            node_stats: self.shared.sched.node_stats(),
             inline_runs: self.shared.inline_runs.load(Ordering::Relaxed),
             max_inline_depth: self.shared.max_inline_depth.load(Ordering::Relaxed),
         }

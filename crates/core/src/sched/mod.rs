@@ -45,10 +45,35 @@ pub struct SchedOpStats {
     pub pops: u64,
     /// Pops served from the per-worker pop cache (no lock touched).
     pub pop_cache_hits: u64,
-    /// Scheduler-lock acquisitions (DTLock ownership transitions for the
-    /// delegation scheduler, central-lock acquisitions otherwise;
-    /// work-stealing counts per-deque lock acquisitions).
+    /// *Global* scheduler-lock acquisitions (DTLock ownership
+    /// transitions for the delegation scheduler, central-lock
+    /// acquisitions otherwise; work-stealing counts per-deque lock
+    /// acquisitions). Deliberately excludes the delegation scheduler's
+    /// per-node partition-queue locks and SPSC producer locks: those are
+    /// node-local — the whole point of node-targeted insertion is
+    /// replacing machine-wide serialization with node-scoped locks, and
+    /// this counter measures exactly the machine-wide part.
     pub lock_acquisitions: u64,
+    /// `add_ready_batch_to` calls (node-targeted insertion, the NUMA-aware
+    /// replay partitioning release path).
+    pub targeted_batch_adds: u64,
+    /// Tasks added through node-targeted batches.
+    pub targeted_tasks: u64,
+}
+
+/// Per-NUMA-node insertion counters of one scheduler, the
+/// machine-checkable side of the NUMA-aware replay partitioning claim
+/// (`fig15_numa_replay`): how many tasks entered this node's ready
+/// structure because a caller *targeted* it (the replay partitioner's
+/// release path) vs because the producing worker happened to live there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeOpStats {
+    /// Tasks inserted into this node's structure via
+    /// [`Scheduler::add_ready_batch_to`].
+    pub targeted_tasks: u64,
+    /// Tasks inserted via producer-home routing (`add_ready` /
+    /// `add_ready_batch` from a worker placed on this node).
+    pub home_tasks: u64,
 }
 
 /// Internal atomic counters behind [`SchedOpStats`]. All updates are
@@ -62,6 +87,8 @@ pub(crate) struct SchedCounters {
     pops: AtomicU64,
     pop_cache_hits: AtomicU64,
     lock_acquisitions: AtomicU64,
+    targeted_batch_adds: AtomicU64,
+    targeted_tasks: AtomicU64,
 }
 
 impl SchedCounters {
@@ -86,6 +113,11 @@ impl SchedCounters {
     pub(crate) fn lock(&self) {
         self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
     }
+    #[inline]
+    pub(crate) fn targeted(&self, n: usize) {
+        self.targeted_batch_adds.fetch_add(1, Ordering::Relaxed);
+        self.targeted_tasks.fetch_add(n as u64, Ordering::Relaxed);
+    }
     pub(crate) fn snapshot(&self) -> SchedOpStats {
         SchedOpStats {
             adds: self.adds.load(Ordering::Relaxed),
@@ -94,6 +126,8 @@ impl SchedCounters {
             pops: self.pops.load(Ordering::Relaxed),
             pop_cache_hits: self.pop_cache_hits.load(Ordering::Relaxed),
             lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            targeted_batch_adds: self.targeted_batch_adds.load(Ordering::Relaxed),
+            targeted_tasks: self.targeted_tasks.load(Ordering::Relaxed),
         }
     }
 }
@@ -277,6 +311,24 @@ pub trait Scheduler: Send + Sync {
             self.add_ready(t, worker, rec.as_deref_mut());
         }
     }
+    /// Add several ready tasks *targeted at NUMA node `node`* instead of
+    /// the producing worker's home node — the NUMA-aware replay
+    /// partitioning release path: the frozen replay graph knows where
+    /// each released task will run, so its batch goes straight into that
+    /// node's ready structure. `worker` is still the *producing* worker
+    /// (trace attribution, deque fallback). The default ignores the
+    /// target and falls back to [`Scheduler::add_ready_batch`];
+    /// implementations with per-node structures override it.
+    ///
+    /// Ordering contract: node-targeted tasks are served FIFO per node,
+    /// *ahead of* the globally-ordered queue, so — like the zero-queue
+    /// fast path — this trades strict global policy ordering (including
+    /// [`Policy::Priority`] order) for placement. Callers opt in via
+    /// `RuntimeConfig::replay_partitioning`.
+    fn add_ready_batch_to(&self, node: usize, tasks: &[TaskPtr], worker: usize, rec: Rec<'_>) {
+        let _ = node;
+        self.add_ready_batch(tasks, worker, rec);
+    }
     /// Ask for a task for `worker`; `None` means no work available now.
     fn get_ready(&self, worker: usize, rec: Rec<'_>) -> Option<TaskPtr>;
     /// Approximate number of queued tasks (diagnostics only).
@@ -287,6 +339,11 @@ pub trait Scheduler: Send + Sync {
     /// don't track them return zeros.
     fn op_stats(&self) -> SchedOpStats {
         SchedOpStats::default()
+    }
+    /// Per-NUMA-node insertion counters (see [`NodeOpStats`]), one entry
+    /// per node; empty for schedulers without per-node structures.
+    fn node_stats(&self) -> Vec<NodeOpStats> {
+        Vec::new()
     }
 }
 
@@ -330,7 +387,9 @@ pub fn make_scheduler(
         SchedKind::Central(LockKind::Spin) => {
             Arc::new(central::CentralScheduler::<SpinLock>::new(policy, kind))
         }
-        SchedKind::WorkSteal(v) => Arc::new(worksteal::WorkStealScheduler::new(workers, v)),
+        SchedKind::WorkSteal(v) => {
+            Arc::new(worksteal::WorkStealScheduler::new(workers, numa_nodes, v))
+        }
     }
 }
 

@@ -17,6 +17,7 @@
 use std::sync::Arc;
 
 use crate::graph::ReplayGraph;
+use crate::partition::Partitioning;
 
 /// One cached frozen graph.
 struct Entry {
@@ -28,6 +29,12 @@ struct Entry {
     /// Structural hash of the iteration observed right after one of this
     /// graph's iterations — the phase predictor.
     next: Option<u64>,
+    /// NUMA partitioning of the graph, computed once at first use and
+    /// cached with the entry (freeze-time analysis, reused by every
+    /// replay of the graph), keyed by the *requested* part count so a
+    /// changed request recomputes regardless of how
+    /// [`Partitioning::compute`] clamps internally.
+    part: Option<(usize, Arc<Partitioning>)>,
 }
 
 /// A bounded LRU of frozen replay graphs, keyed by structural hash.
@@ -136,7 +143,26 @@ impl GraphCache {
             last_used: self.tick,
             replays: 0,
             next: None,
+            part: None,
         });
+    }
+
+    /// The NUMA partitioning of `graph` into `parts` parts: returned from
+    /// the entry cache when already computed (with a matching part
+    /// count), computed and cached otherwise. Graphs not in the cache
+    /// (e.g. nested-pinned shapes) are partitioned without caching.
+    pub fn partitioning(&mut self, graph: &Arc<ReplayGraph>, parts: usize) -> Arc<Partitioning> {
+        if let Some(idx) = self.position(graph.structural_hash()) {
+            if let Some((requested, p)) = &self.entries[idx].part
+                && *requested == parts
+            {
+                return Arc::clone(p);
+            }
+            let p = Arc::new(Partitioning::compute(graph, parts));
+            self.entries[idx].part = Some((parts, Arc::clone(&p)));
+            return p;
+        }
+        Arc::new(Partitioning::compute(graph, parts))
     }
 
     /// Count one fully-replayed iteration against the graph with this
@@ -255,6 +281,41 @@ mod tests {
             a.structural_hash()
         );
         assert!(c.get_by_first_sig(sig_a ^ 1).is_none());
+    }
+
+    #[test]
+    fn partitioning_computed_once_and_cached() {
+        let mut c = GraphCache::new(2);
+        // Two independent tasks so a 2-way split is actually possible.
+        let captured = vec![
+            CapturedSpawn {
+                label: "a",
+                priority: 0,
+                decls: vec![AccessDecl::new(0x10, 8, AccessMode::ReadWrite)],
+                body: None,
+                id: None,
+            },
+            CapturedSpawn {
+                label: "b",
+                priority: 0,
+                decls: vec![AccessDecl::new(0x20, 8, AccessMode::ReadWrite)],
+                body: None,
+                id: None,
+            },
+        ];
+        let g = Arc::new(ReplayGraph::build(&captured, &[]));
+        c.insert(Arc::clone(&g));
+        let p1 = c.partitioning(&g, 2);
+        let p2 = c.partitioning(&g, 2);
+        assert!(Arc::ptr_eq(&p1, &p2), "second call served from the entry");
+        // A different part count recomputes.
+        let p3 = c.partitioning(&g, 1);
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(p3.parts(), 1);
+        // Uncached graphs still get a (fresh) partitioning.
+        let foreign = graph(0x999);
+        let pf = c.partitioning(&foreign, 2);
+        assert_eq!(pf.assignments().len(), 1);
     }
 
     #[test]

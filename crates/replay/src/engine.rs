@@ -19,7 +19,7 @@
 
 use core::cell::UnsafeCell;
 use std::sync::Arc;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use nanotask_core::deps::reduction::ReductionInfo;
 use nanotask_core::{Deps, HeldTask, Runtime, SpawnCapture, TaskBody, TaskCtx, TaskId};
@@ -27,6 +27,7 @@ use nanotask_trace::EventKind;
 
 use crate::cache::GraphCache;
 use crate::graph::ReplayGraph;
+use crate::partition::Partitioning;
 use crate::recorder::{
     CaptureMode, CapturedSpawn, GraphRecorder, STRUCTURAL_HASH_SEED, chain_structural_hash,
     spawn_sig_hash,
@@ -86,6 +87,80 @@ pub struct ReplayReport {
     /// from it)`, most recently used first. Graphs evicted before the
     /// run ended are not listed.
     pub per_graph_replays: Vec<(u64, usize, u64)>,
+    /// NUMA partitions the replay engine routed to (0 = partitioning
+    /// off, see [`nanotask_core::RuntimeConfig::replay_partitioning`]).
+    pub partitions: usize,
+    /// Held-task releases routed to their partition's node through the
+    /// scheduler's node-targeted insertion.
+    pub routed_releases: u64,
+    /// Cut edges of the last replayed graph's partitioning (edges whose
+    /// endpoints live on different NUMA nodes).
+    pub partition_cut_edges: usize,
+}
+
+impl ReplayReport {
+    /// The per-iteration classification invariant: every iteration is
+    /// counted exactly once as a cache hit, a cache miss, or a pinned
+    /// iteration.
+    pub fn classification_ok(&self) -> bool {
+        self.cache_hits + self.cache_misses + self.pinned_iterations == self.iterations
+    }
+
+    /// Assert [`ReplayReport::classification_ok`] plus the bookkeeping
+    /// bounds every report must satisfy — the one place the conformance
+    /// suites (and harnesses) check report integrity.
+    pub fn assert_classification(&self) {
+        assert!(
+            self.classification_ok(),
+            "hits + misses + pinned == iterations violated: {self}"
+        );
+        assert!(
+            self.replayed + self.diverged <= self.iterations,
+            "replay/divergence counts exceed iterations: {self}"
+        );
+        let cached: u64 = self.per_graph_replays.iter().map(|&(_, _, r)| r).sum();
+        assert!(
+            cached <= self.replayed as u64,
+            "cached graphs claim more replays than happened: {self}"
+        );
+    }
+}
+
+impl core::fmt::Display for ReplayReport {
+    /// One-line summary of everything the report counts — including the
+    /// cache counters (hits/misses/evictions, pinned iterations,
+    /// give-ups) and the partitioning counters.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "replay: iters={} replayed={} rerecords={} diverged={} | \
+             cache: hits={} misses={} evictions={} pinned={} giveups={} | \
+             nested: spawns={} pinned_nested={} | \
+             graph: tasks={} edges={} foreign={}",
+            self.iterations,
+            self.replayed,
+            self.rerecords,
+            self.diverged,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.pinned_iterations,
+            self.giveups,
+            self.nested_spawns,
+            self.pinned_nested,
+            self.tasks,
+            self.edges,
+            self.foreign_edges,
+        )?;
+        if self.partitions > 0 {
+            write!(
+                f,
+                " | numa: partitions={} routed={} cut_edges={}",
+                self.partitions, self.routed_releases, self.partition_cut_edges
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// Extension trait adding record & replay execution to [`Runtime`].
@@ -125,10 +200,15 @@ struct IterState {
     groups: Vec<GroupState>,
     /// Released-node count (debug cross-check against graph size).
     launched: AtomicUsize,
+    /// NUMA partitioning of the graph — `Some` activates node-targeted
+    /// release routing ([`nanotask_core::RuntimeConfig::replay_partitioning`]).
+    part: Option<Arc<Partitioning>>,
+    /// Held-task releases routed through the node-targeted path.
+    routed: AtomicU64,
 }
 
 impl IterState {
-    fn new(graph: Arc<ReplayGraph>, workers: usize) -> Self {
+    fn new(graph: Arc<ReplayGraph>, workers: usize, part: Option<Arc<Partitioning>>) -> Self {
         graph.reset();
         let groups = graph
             .groups()
@@ -142,6 +222,8 @@ impl IterState {
             graph,
             groups,
             launched: AtomicUsize::new(0),
+            part,
+            routed: AtomicU64::new(0),
         }
     }
 
@@ -181,6 +263,58 @@ impl IterState {
         }
     }
 
+    /// Partition-routed variant of [`IterState::countdown`] over a whole
+    /// successor list: newly-released tasks are grouped by their
+    /// partition's NUMA node and each group is handed to the scheduler
+    /// as one node-targeted batch — the locality-aware static schedule
+    /// of the frozen graph. Scratch buffers are thread-local so the
+    /// per-completion hot path never allocates.
+    fn countdown_routed(&self, ctx: &TaskCtx, succs: &[u32], part: &Partitioning) {
+        /// Reusable (node, handle) release buffer + contiguous handle
+        /// batch, one pair per worker thread.
+        type RouteScratch = (Vec<(usize, HeldTask)>, Vec<HeldTask>);
+        thread_local! {
+            static SCRATCH: core::cell::RefCell<RouteScratch> =
+                const { core::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        SCRATCH.with(|cell| {
+            let (ready, handles) = &mut *cell.borrow_mut();
+            ready.clear();
+            for &s in succs {
+                if let Some(t) = self.graph.countdown(s as usize) {
+                    self.launched.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: as in `countdown` — published by the
+                    // creator, released exactly once.
+                    ready.push((part.node_of(s as usize), unsafe { HeldTask::from_raw(t) }));
+                }
+            }
+            if ready.is_empty() {
+                return;
+            }
+            self.routed.fetch_add(ready.len() as u64, Ordering::Relaxed);
+            if let [(node, h)] = ready[..] {
+                // Single release (chains — the common case): no grouping.
+                ctx.release_held_batch_to(node, &[h]);
+                return;
+            }
+            // Group by node, preserving release order within each node
+            // (stable sort; successor lists are short).
+            ready.sort_by_key(|&(node, _)| node);
+            handles.clear();
+            handles.extend(ready.iter().map(|&(_, h)| h));
+            let mut start = 0;
+            while start < ready.len() {
+                let node = ready[start].0;
+                let mut end = start + 1;
+                while end < ready.len() && ready[end].0 == node {
+                    end += 1;
+                }
+                ctx.release_held_batch_to(node, &handles[start..end]);
+                start = end;
+            }
+        });
+    }
+
     /// Feed one matched spawn into the frozen graph: spawn the body held
     /// (with reduction chain state attached) and drop its creation hold.
     fn feed(&self, self_arc: &Arc<IterState>, ctx: &TaskCtx, i: usize, body: TaskBody) {
@@ -213,15 +347,43 @@ impl IterState {
                     unsafe { g.info.combine_into_target() };
                 }
             }
-            for &s in &node.succs {
-                st.countdown(tc, s);
+            match &st.part {
+                // Partitioning off: the original (byte-identical) release
+                // path through the producer's home buffer.
+                None => {
+                    for &s in &node.succs {
+                        st.countdown(tc, s);
+                    }
+                }
+                // Partitioning on: group the newly-released successors by
+                // their partition and batch each group to its node.
+                Some(p) => st.countdown_routed(tc, &node.succs, p),
             }
         };
         let held = ctx.spawn_held(node.label, node.priority, decls, wrapped);
         self.graph.publish(i, held.into_raw());
         // Drop the creation hold; releases the task if all its
-        // predecessors already finished (or it has none).
-        self.countdown(ctx, i as u32);
+        // predecessors already finished (or it has none) — routed to its
+        // partition's node when partitioning is on.
+        match &self.part {
+            None => self.countdown(ctx, i as u32),
+            Some(p) => self.countdown_routed(ctx, &[i as u32], p),
+        }
+    }
+}
+
+/// Emit one [`EventKind::ReplayPartitionAssign`] record per partition of
+/// the iteration about to feed (`(partition << 32) | tasks_in_partition`)
+/// — called on both ways a graph becomes the feed target: the scheduled
+/// replay branch and the mid-start phase-switch takeover.
+fn mark_partitions(ctx: &TaskCtx, state: &IterState) {
+    if let Some(p) = &state.part {
+        for n in 0..p.parts() {
+            ctx.trace_mark(
+                EventKind::ReplayPartitionAssign,
+                ((n as u64) << 32) | p.tasks_in(n) as u64,
+            );
+        }
     }
 }
 
@@ -275,6 +437,9 @@ struct EngineCapture {
     /// Worker count, needed to build per-iteration reduction state when
     /// swapping feed targets.
     workers: usize,
+    /// NUMA partitions for release routing; 0 = partitioning off
+    /// ([`nanotask_core::RuntimeConfig::replay_partitioning`]).
+    parts: usize,
     /// `replay_cache_size > 1`: cache probing, divergence capture and
     /// pinning are active. With 1 the engine is byte-identical to the
     /// original single-graph design (divergence discards the graph and
@@ -286,14 +451,29 @@ unsafe impl Send for EngineCapture {}
 unsafe impl Sync for EngineCapture {}
 
 impl EngineCapture {
-    fn new(workers: usize, cache_size: usize) -> Self {
+    fn new(workers: usize, cache_size: usize, parts: usize) -> Self {
         Self {
             mode: UnsafeCell::new(Mode::Off),
             recorder: GraphRecorder::new(),
             cache: UnsafeCell::new(GraphCache::new(cache_size)),
             workers,
+            parts,
             hysteresis: cache_size > 1,
         }
+    }
+
+    /// Build the per-iteration state for feeding `g`: attaches the
+    /// graph's (entry-cached) NUMA partitioning when partitioning is on.
+    ///
+    /// # Safety-adjacent note
+    /// Calls `self.cache()` — root-thread confinement (see type docs).
+    fn make_state(&self, g: Arc<ReplayGraph>) -> Arc<IterState> {
+        let part = if self.parts > 0 {
+            Some(unsafe { self.cache() }.partitioning(&g, self.parts))
+        } else {
+            None
+        };
+        Arc::new(IterState::new(g, self.workers, part))
     }
 
     /// # Safety
@@ -434,7 +614,8 @@ impl SpawnCapture for EngineCapture {
                     // first spawn matches can take over wholesale — the
                     // phase-switch fast path of alternating bodies.
                     if let Some(g) = unsafe { self.cache() }.get_by_first_sig(sig) {
-                        let st = Arc::new(IterState::new(g, self.workers));
+                        let st = self.make_state(g);
+                        mark_partitions(ctx, &st);
                         *state = Arc::clone(&st);
                         *switched = true;
                         st.feed(&st, ctx, 0, body);
@@ -488,9 +669,17 @@ impl RunIterative for Runtime {
         let giveup_after = cfg.replay_giveup_after;
         let recheck_every = cfg.replay_recheck_every.max(1);
         let hysteresis = cache_size > 1;
+        // NUMA-aware replay partitioning: one partition per node of the
+        // runtime's topology. 0 disables routing entirely (the release
+        // path stays byte-identical to the unpartitioned engine).
+        let parts = if cfg.replay_partitioning {
+            self.topology().nodes()
+        } else {
+            0
+        };
 
         let body = Arc::new(body);
-        let capture = Arc::new(EngineCapture::new(workers, cache_size));
+        let capture = Arc::new(EngineCapture::new(workers, cache_size, parts));
         self.set_spawn_capture(Some(Arc::clone(&capture) as _));
         let prev_graph_recording = self.graph_recording();
         self.clear_graph_edges();
@@ -632,11 +821,21 @@ impl RunIterative for Runtime {
                         // degrades to the dependency system.
                         ctx.trace_mark(EventKind::ReplayIterBegin, iter as u64);
                         let nested0 = ctx.nested_spawn_count();
-                        let state = Arc::new(IterState::new(g, workers));
+                        let state = cap.make_state(g);
+                        mark_partitions(ctx, &state);
                         cap.set_feed(Arc::clone(&state));
                         body(ctx);
                         let end = cap.end_feed().expect("feed mode active");
                         ctx.taskwait();
+                        // The feed target may have been swapped by the
+                        // first-spawn phase switch: count the state that
+                        // actually fed (`end.state`), not the scheduled
+                        // one.
+                        report.routed_releases += end.state.routed.load(Ordering::Relaxed);
+                        if let Some(p) = &end.state.part {
+                            report.partitions = p.parts();
+                            report.partition_cut_edges = p.cut_edges();
+                        }
                         let complete = !end.diverged && end.spawned == end.state.graph.len();
                         let nested = ctx.nested_spawn_count() - nested0;
                         // Macro (not a closure: it mutates half the loop
@@ -781,19 +980,11 @@ mod tests {
     use nanotask_core::{RuntimeConfig, SendPtr};
     use std::sync::atomic::AtomicU64;
 
-    /// Every iteration must be classified exactly once.
+    /// Every iteration must be classified exactly once — asserted by the
+    /// report itself ([`ReplayReport::assert_classification`]), in one
+    /// place instead of per-test copies.
     fn check_invariants(report: &ReplayReport) {
-        assert_eq!(
-            report.cache_hits + report.cache_misses + report.pinned_iterations,
-            report.iterations,
-            "hits + misses + pinned == total: {report:?}"
-        );
-        assert!(report.replayed + report.diverged <= report.iterations);
-        let cached_replays: u64 = report.per_graph_replays.iter().map(|&(_, _, r)| r).sum();
-        assert!(
-            cached_replays <= report.replayed as u64,
-            "cached graphs cannot claim more replays than happened: {report:?}"
-        );
+        report.assert_classification();
     }
 
     #[test]
@@ -1376,6 +1567,169 @@ mod tests {
         let s = rt.stats();
         assert_eq!(s.tasks_created, s.tasks_freed);
         unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn partitioned_replay_routes_every_release() {
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(4)
+                .with_numa_nodes(2)
+                .with_replay_partitioning(true),
+        );
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = SendPtr::new(data);
+        let report = rt.run_iterative(6, move |ctx| {
+            for _ in 0..10 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { *data }, 60);
+        assert_eq!(report.replayed, 5);
+        assert_eq!(report.partitions, 2);
+        // Every replayed release was routed: 10 tasks × 5 replays.
+        assert_eq!(report.routed_releases, 50, "{report}");
+        assert_eq!(report.partition_cut_edges, 1, "a split chain cuts once");
+        let rr = rt.run_report();
+        assert_eq!(
+            rr.sched.targeted_tasks, report.routed_releases,
+            "engine-side and scheduler-side routing counts agree"
+        );
+        let targeted: u64 = rr.node_stats.iter().map(|n| n.targeted_tasks).sum();
+        assert_eq!(targeted, 50, "{:?}", rr.node_stats);
+        assert!(
+            rr.node_stats.iter().all(|n| n.targeted_tasks > 0),
+            "a split chain feeds both node buffers: {:?}",
+            rr.node_stats
+        );
+        check_invariants(&report);
+        assert_eq!(rt.live_tasks(), 0);
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn partitioning_off_keeps_paths_untouched() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(4).with_numa_nodes(2));
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = SendPtr::new(data);
+        let report = rt.run_iterative(4, move |ctx| {
+            for _ in 0..8 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { *data }, 32);
+        assert_eq!(report.partitions, 0, "knob off: no partitioning");
+        assert_eq!(report.routed_releases, 0);
+        let rr = rt.run_report();
+        assert_eq!(rr.sched.targeted_batch_adds, 0, "no targeted inserts");
+        assert_eq!(rr.sched.targeted_tasks, 0);
+        check_invariants(&report);
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn partitioned_replay_correct_under_fast_path_and_divergence() {
+        // Partitioning + zero-queue fast path + an alternating body that
+        // exercises the phase switch and the divergence path: routed
+        // releases must stay correct through all of it.
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(4)
+                .with_numa_nodes(2)
+                .with_replay_partitioning(true)
+                .fast_path(true),
+        );
+        let a = Box::leak(Box::new(0u64)) as *mut u64;
+        let b = Box::leak(Box::new(0u64)) as *mut u64;
+        let (pa, pb) = (SendPtr::new(a), SendPtr::new(b));
+        let iter = Arc::new(AtomicU64::new(0));
+        let report = rt.run_iterative(8, move |ctx| {
+            let i = iter.fetch_add(1, Ordering::Relaxed);
+            let p = if i.is_multiple_of(2) { pa } else { pb };
+            for _ in 0..6 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { (*a, *b) }, (24, 24));
+        assert_eq!(report.partitions, 2);
+        assert!(report.routed_releases > 0, "{report}");
+        check_invariants(&report);
+        assert_eq!(rt.live_tasks(), 0);
+        unsafe {
+            drop(Box::from_raw(a));
+            drop(Box::from_raw(b));
+        }
+    }
+
+    #[test]
+    fn partitioned_reductions_replay_correctly() {
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(4)
+                .with_numa_nodes(2)
+                .with_replay_partitioning(true),
+        );
+        let acc = Box::leak(Box::new(0.0f64)) as *mut f64;
+        let p = SendPtr::new(acc);
+        let iters = 5u64;
+        let n = 12u64;
+        rt.run_iterative(iters as usize, move |ctx| {
+            for i in 0..n {
+                ctx.spawn(
+                    Deps::new().reduce_addr(p.addr(), 8, nanotask_core::RedOp::SumF64),
+                    move |c| unsafe {
+                        *c.red_slot(&*(p.addr() as *const f64)) += (i + 1) as f64;
+                    },
+                );
+            }
+            ctx.spawn(Deps::new().read_addr(p.addr()), move |_| {});
+        });
+        let per_iter: f64 = (n * (n + 1) / 2) as f64;
+        assert_eq!(unsafe { *acc }, per_iter * iters as f64);
+        unsafe { drop(Box::from_raw(acc)) };
+    }
+
+    #[test]
+    fn report_display_includes_cache_and_partition_counters() {
+        let report = ReplayReport {
+            iterations: 4,
+            replayed: 3,
+            cache_hits: 3,
+            cache_misses: 1,
+            cache_evictions: 2,
+            pinned_iterations: 0,
+            giveups: 1,
+            partitions: 2,
+            routed_releases: 30,
+            partition_cut_edges: 5,
+            ..ReplayReport::default()
+        };
+        let s = report.to_string();
+        assert!(s.contains("hits=3"), "{s}");
+        assert!(s.contains("misses=1"), "{s}");
+        assert!(s.contains("evictions=2"), "{s}");
+        assert!(s.contains("pinned=0"), "{s}");
+        assert!(s.contains("giveups=1"), "{s}");
+        assert!(s.contains("partitions=2"), "{s}");
+        assert!(s.contains("routed=30"), "{s}");
+        report.assert_classification();
+    }
+
+    #[test]
+    #[should_panic(expected = "hits + misses + pinned == iterations")]
+    fn classification_violations_are_caught() {
+        let report = ReplayReport {
+            iterations: 4,
+            cache_hits: 1,
+            ..ReplayReport::default()
+        };
+        report.assert_classification();
     }
 
     #[test]

@@ -103,11 +103,13 @@
 mod cache;
 mod engine;
 mod graph;
+mod partition;
 mod recorder;
 
 pub use cache::GraphCache;
 pub use engine::{ReplayReport, RunIterative};
 pub use graph::{RedGroup, ReplayGraph, ReplayNode};
+pub use partition::Partitioning;
 pub use recorder::{CaptureMode, CapturedSpawn, GraphRecorder};
 
 // Re-exported for doc links and downstream convenience.

@@ -76,6 +76,14 @@ pub enum EventKind {
     /// divergences, or nested task domains detected) and pinned the body
     /// to the dependency system. Payload: iteration index.
     ReplayGiveUp = 25,
+    /// The replay engine attached a NUMA partitioning to the iteration it
+    /// is about to replay: one record per partition. Payload:
+    /// `(partition << 32) | tasks_in_partition`.
+    ReplayPartitionAssign = 26,
+    /// A batch of ready tasks was inserted *targeted at a NUMA node*
+    /// (`Scheduler::add_ready_batch_to`, the replay partitioner's release
+    /// path). Payload: `(node << 32) | batch_size`.
+    NodeReadyBatch = 27,
 }
 
 impl EventKind {
@@ -109,6 +117,8 @@ impl EventKind {
             23 => ReadyBatch,
             24 => ReplayCacheHit,
             25 => ReplayGiveUp,
+            26 => ReplayPartitionAssign,
+            27 => NodeReadyBatch,
             _ => return None,
         })
     }
@@ -143,6 +153,8 @@ impl EventKind {
             ReadyBatch,
             ReplayCacheHit,
             ReplayGiveUp,
+            ReplayPartitionAssign,
+            NodeReadyBatch,
         ]
     }
 }
@@ -174,7 +186,7 @@ mod tests {
     #[test]
     fn unknown_kind_rejected() {
         assert_eq!(EventKind::from_u8(200), None);
-        assert_eq!(EventKind::from_u8(26), None);
+        assert_eq!(EventKind::from_u8(28), None);
     }
 
     #[test]

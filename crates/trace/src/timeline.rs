@@ -120,6 +120,93 @@ impl CoreStats {
             self.idle_ns as f64 / total as f64
         }
     }
+
+    /// Accumulate `overlap` ns of `state` (plus one task start when the
+    /// interval began inside the accounted window) — the one shared rule
+    /// for clipped-window accounting ([`Timeline::stats_in`],
+    /// [`Timeline::record_vs_replay`]).
+    fn accumulate(&mut self, state: CoreState, overlap: u64, started_in_window: bool) {
+        match state {
+            CoreState::Running => {
+                self.running_ns += overlap;
+                if started_in_window {
+                    self.tasks_run += 1;
+                }
+            }
+            CoreState::Creating => self.creating_ns += overlap,
+            CoreState::Scheduler => self.scheduler_ns += overlap,
+            CoreState::Idle => self.idle_ns += overlap,
+            CoreState::Interrupted => self.interrupted_ns += overlap,
+            CoreState::Taskwait => self.taskwait_ns += overlap,
+            CoreState::Other => {}
+        }
+    }
+
+    /// Accumulate another set of counters into this one.
+    pub fn add(&mut self, other: &CoreStats) {
+        self.running_ns += other.running_ns;
+        self.creating_ns += other.creating_ns;
+        self.scheduler_ns += other.scheduler_ns;
+        self.idle_ns += other.idle_ns;
+        self.interrupted_ns += other.interrupted_ns;
+        self.taskwait_ns += other.taskwait_ns;
+        self.tasks_run += other.tasks_run;
+    }
+}
+
+/// Aggregate statistics of one side of the record-vs-replay split.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Phase windows summed.
+    pub windows: u64,
+    /// Total wall-clock ns covered by the windows.
+    pub wall_ns: u64,
+    /// Core statistics clipped to the windows.
+    pub stats: CoreStats,
+}
+
+impl PhaseStats {
+    /// Mean wall-clock ns per phase window (0 when empty).
+    pub fn mean_window_ns(&self) -> u64 {
+        self.wall_ns.checked_div(self.windows).unwrap_or(0)
+    }
+}
+
+/// Which replay-engine mode a window of the trace belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplayPhase {
+    /// Graph capture through the full dependency system
+    /// (`ReplayRecordBegin`/`End`).
+    Record,
+    /// Frozen-graph replay, dependency system bypassed
+    /// (`ReplayIterBegin`/`End`).
+    Replay,
+}
+
+/// One record- or replay-phase window of the trace, reconstructed from
+/// the replay engine's phase-boundary events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Record or replay.
+    pub phase: ReplayPhase,
+    /// Iteration index (the `Begin` event's payload).
+    pub iter: u64,
+    /// Start, ns since trace epoch.
+    pub start: u64,
+    /// End, ns since trace epoch.
+    pub end: u64,
+}
+
+impl PhaseSpan {
+    /// Window length in ns.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if the window is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
 }
 
 /// Whole-trace analysis result.
@@ -131,6 +218,7 @@ pub struct Timeline {
     per_core: Vec<CoreStats>,
     serves: Vec<(u64, u64)>,
     drains: Vec<(u64, u64)>,
+    phases: Vec<PhaseSpan>,
 }
 
 impl Timeline {
@@ -145,6 +233,24 @@ impl Timeline {
         let mut per_core: Vec<CoreStats> = vec![CoreStats::default(); ncores as usize];
         let mut serves = Vec::new();
         let mut drains = Vec::new();
+        let mut phases: Vec<PhaseSpan> = Vec::new();
+        // Currently-open phase window: (phase, iter, since). The engine
+        // never nests record inside replay or vice versa, so one slot
+        // suffices; a Begin while another phase is open closes it.
+        let mut open_phase: Option<(ReplayPhase, u64, u64)> = None;
+        let close_phase =
+            |open: &mut Option<(ReplayPhase, u64, u64)>, now: u64, phases: &mut Vec<PhaseSpan>| {
+                if let Some((phase, iter, since)) = open.take()
+                    && now > since
+                {
+                    phases.push(PhaseSpan {
+                        phase,
+                        iter,
+                        start: since,
+                        end: now,
+                    });
+                }
+            };
         // Per-core state machine: (state, since).
         let mut cur: Vec<(CoreState, u64)> = vec![(CoreState::Other, start); ncores as usize];
 
@@ -284,25 +390,37 @@ impl Timeline {
                 ),
                 EventKind::SchedServe => serves.push((e.ns, e.payload)),
                 EventKind::SchedDrain => drains.push((e.ns, e.payload)),
+                EventKind::ReplayRecordBegin => {
+                    close_phase(&mut open_phase, e.ns, &mut phases);
+                    open_phase = Some((ReplayPhase::Record, e.payload, e.ns));
+                }
+                EventKind::ReplayIterBegin => {
+                    close_phase(&mut open_phase, e.ns, &mut phases);
+                    open_phase = Some((ReplayPhase::Replay, e.payload, e.ns));
+                }
+                // RecordEnd's payload is the captured task count, so the
+                // iteration index comes from the opening event.
+                EventKind::ReplayRecordEnd | EventKind::ReplayIterEnd => {
+                    close_phase(&mut open_phase, e.ns, &mut phases);
+                }
                 EventKind::AddReady
                 | EventKind::DepRegister
                 | EventKind::DepRelease
                 | EventKind::UserMarker
-                | EventKind::ReplayRecordBegin
-                | EventKind::ReplayRecordEnd
-                | EventKind::ReplayIterBegin
-                | EventKind::ReplayIterEnd
                 | EventKind::InlineRun
                 | EventKind::ReadyBatch
                 | EventKind::ReplayCacheHit
-                | EventKind::ReplayGiveUp => {}
+                | EventKind::ReplayGiveUp
+                | EventKind::ReplayPartitionAssign
+                | EventKind::NodeReadyBatch => {}
             }
         }
-        // Close any open interval at the trace end.
+        // Close any open interval (and phase window) at the trace end.
         for core in 0..ncores as usize {
             let state = cur[core].0;
             switch(core, end, state, &mut intervals, &mut per_core, &mut cur);
         }
+        close_phase(&mut open_phase, end, &mut phases);
         Self {
             ncores,
             span: (start, end),
@@ -310,6 +428,7 @@ impl Timeline {
             per_core,
             serves,
             drains,
+            phases,
         }
     }
 
@@ -356,6 +475,77 @@ impl Timeline {
     /// All SPSC drain events `(ns, ntasks)` — green in Figure 10.
     pub fn drains(&self) -> &[(u64, u64)] {
         &self.drains
+    }
+
+    /// The record/replay phase windows of the trace, in time order —
+    /// empty when the trace was not produced by `run_iterative` (or
+    /// tracing was off during it).
+    pub fn replay_phases(&self) -> &[PhaseSpan] {
+        &self.phases
+    }
+
+    /// Aggregate core statistics restricted to the `[start, end)` window:
+    /// interval time is clipped to the window; `tasks_run` counts task
+    /// bodies that *started* inside it.
+    pub fn stats_in(&self, start: u64, end: u64) -> CoreStats {
+        let mut t = CoreStats::default();
+        for core_ivs in &self.intervals {
+            for iv in core_ivs {
+                let overlap = iv.end.min(end).saturating_sub(iv.start.max(start));
+                if overlap == 0 {
+                    continue;
+                }
+                t.accumulate(iv.state, overlap, (start..end).contains(&iv.start));
+            }
+        }
+        t
+    }
+
+    /// The record-vs-replay split of an iterative run: summed core
+    /// statistics (and total wall-clock ns) over every record window and
+    /// every replay window. `None` when the trace has no phase events.
+    ///
+    /// One pass over the intervals: each interval binary-searches its
+    /// first overlapping window (the windows are disjoint and
+    /// time-ordered) instead of every window rescanning every interval —
+    /// `O(intervals · (log windows + overlaps))`, linear for the typical
+    /// interval-inside-one-window trace.
+    pub fn record_vs_replay(&self) -> Option<(PhaseStats, PhaseStats)> {
+        if self.phases.is_empty() {
+            return None;
+        }
+        let mut rec = PhaseStats::default();
+        let mut rep = PhaseStats::default();
+        for p in &self.phases {
+            let side = match p.phase {
+                ReplayPhase::Record => &mut rec,
+                ReplayPhase::Replay => &mut rep,
+            };
+            side.windows += 1;
+            side.wall_ns += p.len();
+        }
+        for core_ivs in &self.intervals {
+            for iv in core_ivs {
+                // First window that ends after the interval starts.
+                let first = self.phases.partition_point(|p| p.end <= iv.start);
+                for p in &self.phases[first..] {
+                    if p.start >= iv.end {
+                        break;
+                    }
+                    let overlap = iv.end.min(p.end).saturating_sub(iv.start.max(p.start));
+                    if overlap == 0 {
+                        continue;
+                    }
+                    let side = match p.phase {
+                        ReplayPhase::Record => &mut rec,
+                        ReplayPhase::Replay => &mut rep,
+                    };
+                    side.stats
+                        .accumulate(iv.state, overlap, (p.start..p.end).contains(&iv.start));
+                }
+            }
+        }
+        Some((rec, rep))
     }
 
     /// Histogram of serve events over `bins` equal time windows: the
@@ -516,6 +706,88 @@ mod tests {
         );
         let tl = Timeline::build(&t);
         assert_eq!(tl.core_stats(0).interrupted_ns, 50);
+    }
+
+    #[test]
+    fn replay_phase_spans_reconstructed() {
+        let t = Trace::from_events(
+            1,
+            vec![
+                ev(0, 0, EventKind::ReplayRecordBegin, 0),
+                ev(10, 0, EventKind::TaskStart, 1),
+                ev(90, 0, EventKind::TaskEnd, 1),
+                // Payload of RecordEnd is the captured task count.
+                ev(100, 0, EventKind::ReplayRecordEnd, 1),
+                ev(100, 0, EventKind::ReplayIterBegin, 1),
+                ev(110, 0, EventKind::TaskStart, 2),
+                ev(140, 0, EventKind::TaskEnd, 2),
+                ev(150, 0, EventKind::ReplayIterEnd, 1),
+                ev(150, 0, EventKind::ReplayIterBegin, 2),
+                ev(160, 0, EventKind::TaskStart, 3),
+                ev(190, 0, EventKind::TaskEnd, 3),
+                ev(200, 0, EventKind::ReplayIterEnd, 2),
+            ],
+        );
+        let tl = Timeline::build(&t);
+        let phases = tl.replay_phases();
+        assert_eq!(phases.len(), 3);
+        assert_eq!(
+            (phases[0].phase, phases[0].iter, phases[0].len()),
+            (ReplayPhase::Record, 0, 100)
+        );
+        assert_eq!(
+            (phases[1].phase, phases[1].iter, phases[1].len()),
+            (ReplayPhase::Replay, 1, 50)
+        );
+        let (rec, rep) = tl.record_vs_replay().expect("phases present");
+        assert_eq!(rec.windows, 1);
+        assert_eq!(rep.windows, 2);
+        assert_eq!(rec.wall_ns, 100);
+        assert_eq!(rep.wall_ns, 100);
+        assert_eq!(rec.stats.running_ns, 80);
+        assert_eq!(rep.stats.running_ns, 60);
+        assert_eq!(rec.stats.tasks_run, 1);
+        assert_eq!(rep.stats.tasks_run, 2);
+        assert_eq!(rep.mean_window_ns(), 50);
+    }
+
+    #[test]
+    fn unterminated_phase_closes_at_trace_end() {
+        let t = Trace::from_events(
+            1,
+            vec![
+                ev(0, 0, EventKind::ReplayIterBegin, 4),
+                ev(10, 0, EventKind::TaskStart, 1),
+                ev(50, 0, EventKind::TaskEnd, 1),
+            ],
+        );
+        let tl = Timeline::build(&t);
+        let phases = tl.replay_phases();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].end, 50);
+        assert_eq!(phases[0].iter, 4);
+    }
+
+    #[test]
+    fn stats_in_clips_intervals_to_window() {
+        let tl = Timeline::build(&simple_trace());
+        // Core 0 runs [0,100), idles [100,200): the [50,150) window sees
+        // 50 ns of each.
+        let s = tl.stats_in(50, 150);
+        // Core 1 contributes scheduler [0,80) → 30 ns and running
+        // [80,200) → 70 ns inside the window.
+        assert_eq!(s.idle_ns, 50);
+        assert_eq!(s.scheduler_ns, 30);
+        assert_eq!(s.running_ns, 50 + 70);
+        // Only core 1's task *starts* inside the window (at 80).
+        assert_eq!(s.tasks_run, 1);
+    }
+
+    #[test]
+    fn traces_without_phase_events_have_no_split() {
+        let tl = Timeline::build(&simple_trace());
+        assert!(tl.replay_phases().is_empty());
+        assert!(tl.record_vs_replay().is_none());
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! updates — is the canonical showcase of data-flow task parallelism
 //! (the paper's Figure 4, bottom right).
 
-use nanotask_core::{Deps, Runtime, SendPtr};
+use nanotask_core::{Deps, Runtime, SendPtr, TaskCtx};
+use nanotask_replay::RunIterative;
 
-use crate::Workload;
 use crate::kernels::{gemm_nt_sub_block, hash_f64, potrf_block, syrk_block, trsm_block};
+use crate::{IterativeWorkload, Workload};
 
 /// Blocked Cholesky on a tiled SPD matrix.
 pub struct Cholesky {
@@ -18,6 +19,9 @@ pub struct Cholesky {
     factored: Vec<f64>,
     reference: Vec<f64>,
     last_bs: usize,
+    /// Factorizations per `run_replay` call (each iteration re-factors a
+    /// fresh copy of A, so every iteration spawns the identical graph).
+    iters: usize,
 }
 
 impl Cholesky {
@@ -47,6 +51,7 @@ impl Cholesky {
             factored: vec![],
             reference,
             last_bs: 0,
+            iters: 4,
         }
     }
 
@@ -83,6 +88,68 @@ impl Cholesky {
     }
 }
 
+/// Spawn the four-kernel tile factorization (potrf / trsm / syrk / gemm)
+/// of the `nb × nb` tiled matrix at `pt` (tile-major layout, `bs²`
+/// elements per tile). Shared by the one-shot driver ([`Workload::run`])
+/// and the record/replay driver ([`IterativeWorkload::run_replay`]).
+fn spawn_factorization(ctx: &TaskCtx, pt: SendPtr<f64>, bs: usize, nb: usize) {
+    let tile = bs * bs;
+    let at = |bi: usize, bj: usize| unsafe { pt.add((bi * nb + bj) * tile) };
+    for k in 0..nb {
+        let akk = at(k, k);
+        ctx.spawn_labeled(
+            "potrf",
+            Deps::new().readwrite_addr(akk.addr()),
+            move |_| unsafe {
+                let blk = core::slice::from_raw_parts_mut(akk.get(), tile);
+                potrf_block(blk, bs).expect("tile not positive definite");
+            },
+        );
+        for i in (k + 1)..nb {
+            let aik = at(i, k);
+            ctx.spawn_labeled(
+                "trsm",
+                Deps::new().read_addr(akk.addr()).readwrite_addr(aik.addr()),
+                move |_| unsafe {
+                    let l = core::slice::from_raw_parts(akk.get(), tile);
+                    let x = core::slice::from_raw_parts_mut(aik.get(), tile);
+                    trsm_block(x, l, bs);
+                },
+            );
+        }
+        for i in (k + 1)..nb {
+            let aik = at(i, k);
+            let aii = at(i, i);
+            ctx.spawn_labeled(
+                "syrk",
+                Deps::new().read_addr(aik.addr()).readwrite_addr(aii.addr()),
+                move |_| unsafe {
+                    let a = core::slice::from_raw_parts(aik.get(), tile);
+                    let c = core::slice::from_raw_parts_mut(aii.get(), tile);
+                    syrk_block(c, a, bs);
+                },
+            );
+            for j in (k + 1)..i {
+                let ajk = at(j, k);
+                let aij = at(i, j);
+                ctx.spawn_labeled(
+                    "gemm",
+                    Deps::new()
+                        .read_addr(aik.addr())
+                        .read_addr(ajk.addr())
+                        .readwrite_addr(aij.addr()),
+                    move |_| unsafe {
+                        let a = core::slice::from_raw_parts(aik.get(), tile);
+                        let b = core::slice::from_raw_parts(ajk.get(), tile);
+                        let c = core::slice::from_raw_parts_mut(aij.get(), tile);
+                        gemm_nt_sub_block(c, a, b, bs);
+                    },
+                );
+            }
+        }
+    }
+}
+
 impl Workload for Cholesky {
     fn name(&self) -> &'static str {
         "Cholesky"
@@ -106,63 +173,7 @@ impl Workload for Cholesky {
         let mut t = Self::tile(&self.a, n, bs);
         {
             let pt = SendPtr::new(t.as_mut_ptr());
-            rt.run(move |ctx| {
-                let tile = bs * bs;
-                let at = |bi: usize, bj: usize| unsafe { pt.add((bi * nb + bj) * tile) };
-                for k in 0..nb {
-                    let akk = at(k, k);
-                    ctx.spawn_labeled(
-                        "potrf",
-                        Deps::new().readwrite_addr(akk.addr()),
-                        move |_| unsafe {
-                            let blk = core::slice::from_raw_parts_mut(akk.get(), tile);
-                            potrf_block(blk, bs).expect("tile not positive definite");
-                        },
-                    );
-                    for i in (k + 1)..nb {
-                        let aik = at(i, k);
-                        ctx.spawn_labeled(
-                            "trsm",
-                            Deps::new().read_addr(akk.addr()).readwrite_addr(aik.addr()),
-                            move |_| unsafe {
-                                let l = core::slice::from_raw_parts(akk.get(), tile);
-                                let x = core::slice::from_raw_parts_mut(aik.get(), tile);
-                                trsm_block(x, l, bs);
-                            },
-                        );
-                    }
-                    for i in (k + 1)..nb {
-                        let aik = at(i, k);
-                        let aii = at(i, i);
-                        ctx.spawn_labeled(
-                            "syrk",
-                            Deps::new().read_addr(aik.addr()).readwrite_addr(aii.addr()),
-                            move |_| unsafe {
-                                let a = core::slice::from_raw_parts(aik.get(), tile);
-                                let c = core::slice::from_raw_parts_mut(aii.get(), tile);
-                                syrk_block(c, a, bs);
-                            },
-                        );
-                        for j in (k + 1)..i {
-                            let ajk = at(j, k);
-                            let aij = at(i, j);
-                            ctx.spawn_labeled(
-                                "gemm",
-                                Deps::new()
-                                    .read_addr(aik.addr())
-                                    .read_addr(ajk.addr())
-                                    .readwrite_addr(aij.addr()),
-                                move |_| unsafe {
-                                    let a = core::slice::from_raw_parts(aik.get(), tile);
-                                    let b = core::slice::from_raw_parts(ajk.get(), tile);
-                                    let c = core::slice::from_raw_parts_mut(aij.get(), tile);
-                                    gemm_nt_sub_block(c, a, b, bs);
-                                },
-                            );
-                        }
-                    }
-                }
-            });
+            rt.run(move |ctx| spawn_factorization(ctx, pt, bs, nb));
         }
         self.factored = Self::untile(&t, n, bs);
         self.last_bs = bs;
@@ -196,6 +207,50 @@ impl Workload for Cholesky {
     }
 }
 
+impl IterativeWorkload for Cholesky {
+    fn iterations(&self) -> usize {
+        self.iters
+    }
+
+    fn set_iterations(&mut self, iters: usize) {
+        // Every iteration factors the same fresh copy of A, so the
+        // serial reference needs no recomputation.
+        self.iters = iters.max(1);
+    }
+
+    fn run_replay(&mut self, rt: &Runtime, bs: usize) -> u64 {
+        self.run_replay_report(rt, bs);
+        (self.n as u64).pow(3) / 3 * self.iters as u64
+    }
+
+    fn run_replay_report(&mut self, rt: &Runtime, bs: usize) -> nanotask_replay::ReplayReport {
+        let bs = bs.clamp(1, self.n);
+        assert_eq!(self.n % bs, 0);
+        let n = self.n;
+        let nb = n / bs;
+        // Source tiles stay immutable; each iteration re-factors a fresh
+        // copy in `work`, so every timestep spawns the identical graph —
+        // the pattern of re-factorizing solvers (same sparsity, new
+        // values each step).
+        let src = Self::tile(&self.a, n, bs);
+        let mut work = vec![0.0f64; n * n];
+        let report = {
+            let ps = SendPtr::new(src.as_ptr() as *mut f64);
+            let pw = SendPtr::new(work.as_mut_ptr());
+            rt.run_iterative(self.iters, move |ctx| {
+                // Root-body reset: runs before any spawn of the
+                // iteration, and the previous iteration's subtree has
+                // completed (iterations are barriers).
+                unsafe { core::ptr::copy_nonoverlapping(ps.get(), pw.get(), n * n) };
+                spawn_factorization(ctx, pw, bs, nb);
+            })
+        };
+        self.factored = Self::untile(&work, n, bs);
+        self.last_bs = bs;
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +272,36 @@ mod tests {
         let mut w = Cholesky::new(1);
         w.run(&rt, 16);
         w.verify().unwrap();
+    }
+
+    #[test]
+    fn replay_matches_serial_reference() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3));
+        let mut w = Cholesky::new(1);
+        w.set_iterations(3);
+        for bs in [16, 32] {
+            w.run_replay(&rt, bs);
+            w.verify().unwrap_or_else(|e| panic!("replay bs={bs}: {e}"));
+        }
+    }
+
+    #[test]
+    fn replay_with_partitioning_matches_reference() {
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(4)
+                .with_numa_nodes(2)
+                .with_replay_partitioning(true),
+        );
+        let mut w = Cholesky::new(1);
+        w.set_iterations(3);
+        w.run_replay(&rt, 16);
+        w.verify().unwrap();
+        let rr = rt.run_report();
+        assert!(
+            rr.sched.targeted_tasks > 0,
+            "partitioned replay routed releases: {:?}",
+            rr.sched
+        );
     }
 }

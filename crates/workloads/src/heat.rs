@@ -190,6 +190,11 @@ impl IterativeWorkload for Heat {
     }
 
     fn run_replay(&mut self, rt: &Runtime, bs: usize) -> u64 {
+        self.run_replay_report(rt, bs);
+        (8 * self.n * self.n * self.steps) as u64
+    }
+
+    fn run_replay_report(&mut self, rt: &Runtime, bs: usize) -> nanotask_replay::ReplayReport {
         let bs = bs.clamp(1, self.n);
         assert_eq!(self.n % bs, 0);
         self.grid = Self::initial(self.n);
@@ -204,8 +209,7 @@ impl IterativeWorkload for Heat {
         // zero dependency-system work per replayed step.
         rt.run_iterative(self.steps, move |ctx| {
             spawn_timestep(ctx, g, res, bs, nb, stride);
-        });
-        (8 * self.n * self.n * self.steps) as u64
+        })
     }
 }
 

@@ -366,6 +366,11 @@ impl IterativeWorkload for Hpccg {
     }
 
     fn run_replay(&mut self, rt: &Runtime, bs: usize) -> u64 {
+        self.run_replay_report(rt, bs);
+        (16 * self.n * self.iters) as u64
+    }
+
+    fn run_replay_report(&mut self, rt: &Runtime, bs: usize) -> nanotask_replay::ReplayReport {
         let bs = bs.clamp(1, self.n);
         assert_eq!(self.n % bs, 0);
         let n = self.n;
@@ -378,8 +383,7 @@ impl IterativeWorkload for Hpccg {
         rt.run(move |ctx| spawn_initial_rtrans(ctx, cg, bs, nb));
         rt.run_iterative(self.iters, move |ctx| {
             spawn_cg_iteration(ctx, cg, &bands, diag, bs, nb, n);
-        });
-        (16 * self.n * self.iters) as u64
+        })
     }
 }
 

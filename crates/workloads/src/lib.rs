@@ -84,6 +84,11 @@ pub trait IterativeWorkload: Workload {
     /// Run once at block size `bs` via `Runtime::run_iterative`; returns
     /// the same abstract-operation count as [`Workload::run`].
     fn run_replay(&mut self, rt: &Runtime, bs: usize) -> u64;
+
+    /// Like [`IterativeWorkload::run_replay`], but hands back the replay
+    /// engine's [`nanotask_replay::ReplayReport`] — the counters the
+    /// replay harnesses (fig12/fig14/fig15) make their claims with.
+    fn run_replay_report(&mut self, rt: &Runtime, bs: usize) -> nanotask_replay::ReplayReport;
 }
 
 /// All eight §6.1 workloads at a given problem scale (1 = tiny CI scale,
@@ -109,6 +114,7 @@ pub fn iterative_workloads(scale: usize) -> Vec<Box<dyn IterativeWorkload>> {
         Box::new(hpccg::Hpccg::new(scale)),
         Box::new(nbody::NBody::new(scale)),
         Box::new(miniamr::MiniAmr::new(scale)),
+        Box::new(cholesky::Cholesky::new(scale)),
     ]
 }
 
@@ -119,6 +125,7 @@ pub fn iterative_workload_by_name(name: &str, scale: usize) -> Option<Box<dyn It
         "hpccg" => Box::new(hpccg::Hpccg::new(scale)),
         "nbody" => Box::new(nbody::NBody::new(scale)),
         "miniamr" => Box::new(miniamr::MiniAmr::new(scale)),
+        "cholesky" => Box::new(cholesky::Cholesky::new(scale)),
         _ => return None,
     })
 }

@@ -129,23 +129,6 @@ impl MiniAmr {
     fn work(&self, bs: usize) -> u64 {
         (self.phases * self.base_blocks * bs * 4) as u64
     }
-
-    /// Drive one run through `Runtime::run_iterative` (one iteration =
-    /// one refinement phase) and hand back the full [`ReplayReport`]:
-    /// with a graph cache of at least 4 the four distinct phase shapes
-    /// each record once and every later phase replays from the cache.
-    pub fn run_replay_report(&mut self, rt: &Runtime, bs: usize) -> ReplayReport {
-        let bs = self.reset(bs);
-        let nblocks = self.base_blocks;
-        let max_bs = self.max_bs;
-        let st = SendPtr::new(self.storage.as_mut_ptr());
-        let ck = SendPtr::new(&mut *self.checksum as *mut f64);
-        let phase = std::sync::atomic::AtomicUsize::new(0);
-        rt.run_iterative(self.phases, move |ctx| {
-            let p = phase.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            spawn_phase(ctx, st, ck, bs, nblocks, max_bs, p);
-        })
-    }
 }
 
 /// Spawn one refinement phase: `2^level` sub-block tasks per block, each
@@ -270,6 +253,23 @@ impl IterativeWorkload for MiniAmr {
     fn run_replay(&mut self, rt: &Runtime, bs: usize) -> u64 {
         self.run_replay_report(rt, bs);
         self.work(self.last_bs)
+    }
+
+    /// Drive one run through `Runtime::run_iterative` (one iteration =
+    /// one refinement phase) and hand back the full [`ReplayReport`]:
+    /// with a graph cache of at least 4 the four distinct phase shapes
+    /// each record once and every later phase replays from the cache.
+    fn run_replay_report(&mut self, rt: &Runtime, bs: usize) -> ReplayReport {
+        let bs = self.reset(bs);
+        let nblocks = self.base_blocks;
+        let max_bs = self.max_bs;
+        let st = SendPtr::new(self.storage.as_mut_ptr());
+        let ck = SendPtr::new(&mut *self.checksum as *mut f64);
+        let phase = std::sync::atomic::AtomicUsize::new(0);
+        rt.run_iterative(self.phases, move |ctx| {
+            let p = phase.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            spawn_phase(ctx, st, ck, bs, nblocks, max_bs, p);
+        })
     }
 }
 

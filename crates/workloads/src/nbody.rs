@@ -204,22 +204,24 @@ impl IterativeWorkload for NBody {
     }
 
     fn run_replay(&mut self, rt: &Runtime, bs: usize) -> u64 {
+        self.run_replay_report(rt, bs);
+        (20 * self.n as u64 * self.n as u64 * self.steps as u64).max(1)
+    }
+
+    fn run_replay_report(&mut self, rt: &Runtime, bs: usize) -> nanotask_replay::ReplayReport {
         let bs = bs.clamp(1, self.n);
         assert_eq!(self.n % bs, 0);
         self.pos = Self::initial(self.n);
         self.vel.iter_mut().for_each(|v| *v = 0.0);
         let nb = self.n / bs;
         let mut snap = self.pos.clone();
-        {
-            let pos = SendPtr::new(self.pos.as_mut_ptr());
-            let vel = SendPtr::new(self.vel.as_mut_ptr());
-            let frc = SendPtr::new(self.force.as_mut_ptr());
-            let snp = SendPtr::new(snap.as_mut_ptr());
-            rt.run_iterative(self.steps, move |ctx| {
-                spawn_step(ctx, pos, vel, frc, snp, bs, nb);
-            });
-        }
-        (20 * self.n as u64 * self.n as u64 * self.steps as u64).max(1)
+        let pos = SendPtr::new(self.pos.as_mut_ptr());
+        let vel = SendPtr::new(self.vel.as_mut_ptr());
+        let frc = SendPtr::new(self.force.as_mut_ptr());
+        let snp = SendPtr::new(snap.as_mut_ptr());
+        rt.run_iterative(self.steps, move |ctx| {
+            spawn_step(ctx, pos, vel, frc, snp, bs, nb);
+        })
     }
 }
 

@@ -204,18 +204,16 @@ fn check_alternating(a: Program, b: Program, sched: SchedKind, deps: DepsKind, i
     }
 }
 
-/// The per-iteration classification must be total and exclusive.
+/// The per-iteration classification must be total and exclusive —
+/// asserted centrally by `ReplayReport::assert_classification`; the
+/// label-tagged pre-check keeps the matrix coordinates in the failure
+/// message.
 fn check_report(report: &ReplayReport, label: &str) {
-    assert_eq!(
-        report.cache_hits + report.cache_misses + report.pinned_iterations,
-        report.iterations,
-        "{label}: hits + misses + pinned == total: {report:?}"
-    );
-    let cached: u64 = report.per_graph_replays.iter().map(|&(_, _, r)| r).sum();
     assert!(
-        cached <= report.replayed as u64,
-        "{label}: per-graph replay counts bounded by replays: {report:?}"
+        report.classification_ok(),
+        "{label}: classification violated: {report}"
     );
+    report.assert_classification();
 }
 
 proptest! {
