@@ -49,7 +49,7 @@ pub use deps::reduction::RedOp;
 pub use deps::{AccessDecl, AccessMode, Deps, DepsKind};
 pub use platform::{Platform, Topology};
 pub use runtime::{
-    HeldTask, RunReport, Runtime, RuntimeConfig, RuntimeStats, SpawnCapture, TaskCtx,
+    HeldTask, RunReport, Runtime, RuntimeConfig, RuntimeStats, SpawnCapture, TaskCtx, TaskEpilogue,
 };
 pub use sched::{NodeOpStats, SchedKind, SchedOpStats};
 pub use task::{TaskBody, TaskId};

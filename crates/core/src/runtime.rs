@@ -71,6 +71,19 @@ pub trait SpawnCapture: Send + Sync {
     fn on_spawned(&self, _id: TaskId) {}
 }
 
+/// Post-body hook of a held task ([`TaskCtx::spawn_held_with_epilogue`]):
+/// runs on the executing worker immediately after the task's body
+/// returns, before the completion protocol. This is the replay engine's
+/// steady-state seam — the per-iteration successor-release logic lives
+/// in one shared object referenced by every task of the iteration (one
+/// `Arc` clone per task), instead of a freshly boxed wrapper closure per
+/// task per iteration. `tag` is caller-chosen (the replay engine passes
+/// the graph node index).
+pub trait TaskEpilogue: Send + Sync {
+    /// Run the hook for the task tagged `tag`.
+    fn run(&self, ctx: &TaskCtx, tag: u64);
+}
+
 /// Handle to a task created by [`TaskCtx::spawn_held`]: the task is
 /// fully created but *held* — it is handed to the scheduler only when
 /// [`TaskCtx::release_held`] is called on the handle, exactly once.
@@ -172,6 +185,15 @@ pub struct RuntimeConfig {
     /// node ahead of the global policy queue. Off by default — every
     /// path is byte-identical with the knob off.
     pub replay_partitioning: bool,
+    /// Retained reference data path of the replay engine (the pre-CSR
+    /// "PR 4" steady state): node-by-node counter reset instead of the
+    /// template memcpy, the full-frontier-rescan partitioner instead of
+    /// the score heap (and no eviction-seed reuse), and no
+    /// inline-successor routing composition. Behavior is identical —
+    /// only the per-iteration cost differs. Exists for the differential
+    /// conformance suite and as the `fig16_replay_hotloop` baseline;
+    /// leave off otherwise.
+    pub replay_compat: bool,
     /// Name shown by benchmark harnesses.
     pub label: &'static str,
 }
@@ -205,6 +227,7 @@ impl RuntimeConfig {
             replay_giveup_after: 8,
             replay_recheck_every: 16,
             replay_partitioning: false,
+            replay_compat: false,
             label: "optimized",
         }
     }
@@ -403,6 +426,14 @@ impl RuntimeConfig {
         self.numa(n)
     }
 
+    /// Toggle the replay engine's retained reference data path (see
+    /// [`RuntimeConfig::replay_compat`]; off by default). Differential
+    /// tests and the `fig16_replay_hotloop` baseline only.
+    pub fn with_replay_compat(mut self, on: bool) -> Self {
+        self.replay_compat = on;
+        self
+    }
+
     /// Set the NUMA-node count from the environment/host
     /// ([`crate::platform::Topology::detect`]): `NANOTASK_NUMA_NODES`
     /// when set, a deterministic host-parallelism-based fallback
@@ -508,6 +539,11 @@ pub(crate) struct Shared {
     pub inline_runs: AtomicU64,
     /// Longest inline chain observed (≤ `cfg.inline_max_depth`).
     pub max_inline_depth: AtomicU64,
+    /// Node-targeted (partition-routed) held-task releases that were
+    /// kept as the releasing worker's inline next task instead of
+    /// entering their node's queue ([`TaskCtx::release_held_inline_to`])
+    /// — the composition of dependence locality with partition locality.
+    pub inline_routed: AtomicU64,
     /// Spawns issued by *non-root* tasks while a spawn capture is
     /// installed (nested task domains). The replay engine reads deltas
     /// of this around record iterations: a recorded iteration that
@@ -553,6 +589,13 @@ pub(crate) struct WorkerCtx {
     /// released tasks into `pending`; they are handed over (or run
     /// inline) when the executing body's completion window closes.
     defer_held: core::cell::Cell<bool>,
+    /// Inline-chain depth of the task currently executing on this worker
+    /// (fast path; maintained by `execute_task`). Read by
+    /// [`TaskCtx::release_held_inline_to`] to decline inline keeps that
+    /// the depth bound would hand to the scheduler anyway — keeping the
+    /// `inline_routed` counter equal to releases that actually run
+    /// inline.
+    inline_depth: core::cell::Cell<usize>,
     /// Newly-released tasks awaiting one batched scheduler hand-off,
     /// minus at most one kept as the worker's inline next task.
     pending: RefCell<Vec<TaskPtr>>,
@@ -569,6 +612,7 @@ impl WorkerCtx {
             recorder: RefCell::new(recorder),
             collecting: core::cell::Cell::new(false),
             defer_held: core::cell::Cell::new(false),
+            inline_depth: core::cell::Cell::new(0),
             pending: RefCell::new(Vec::new()),
             scratch: RefCell::new(Vec::new()),
         }
@@ -691,8 +735,14 @@ unsafe impl DepHooks for Hooks<'_> {
 /// Handle to a running task, passed to every task body. Provides task
 /// spawning (nested parallelism), taskwait and reduction-slot access —
 /// the library-level OmpSs-2 surface.
-/// Generation-stamped cache of the installed spawn capture.
-type CaptureCache = RefCell<Option<(u64, Option<Arc<dyn SpawnCapture>>)>>;
+/// Generation-stamped cache of the installed spawn capture. A `Cell` so
+/// the per-spawn hit path is a take/put move pair with no refcount
+/// traffic: the entry is taken out for the duration of the `on_spawn`
+/// call and put back afterwards — a re-entrant root spawn (none exist
+/// in-tree; captures call `spawn_held`, which skips this path) would
+/// find the cell empty and re-fetch from the runtime, which is correct,
+/// just slower.
+type CaptureCache = core::cell::Cell<Option<(u64, Option<Arc<dyn SpawnCapture>>)>>;
 
 pub struct TaskCtx<'a> {
     task: *mut Task,
@@ -752,41 +802,50 @@ impl TaskCtx<'_> {
                     .shared
                     .nested_spawns
                     .fetch_add(1, Ordering::Relaxed);
-            } else if let Some(cap) = self.root_capture() {
-                if let Some((deps, body)) = cap.on_spawn(self, label, priority, deps, body) {
-                    let id = self.spawn_internal(label, priority, deps, body, None);
-                    cap.on_spawned(id);
-                }
-                return;
+            } else {
+                return self.spawn_captured(label, priority, deps, body);
             }
         }
         self.spawn_internal(label, priority, deps, body, None);
     }
 
-    /// The active spawn capture, if one applies to this task (captures
-    /// only ever observe the root task's spawns). The Arc is cached per
-    /// task context and refreshed when [`Runtime::set_spawn_capture`]
-    /// bumps the generation, keeping the per-spawn cost to two atomic
-    /// loads + one refcount bump.
-    fn root_capture(&self) -> Option<Arc<dyn SpawnCapture>> {
+    /// Offer one root spawn to the installed capture (spawning normally
+    /// if none is active). The capture handle is cached per task
+    /// context, generation-stamped against [`Runtime::set_spawn_capture`];
+    /// the hit path is two atomic loads plus a cell take/put — no
+    /// refcount traffic per spawn. Under `replay_compat` the pre-hot-loop
+    /// behavior is kept: the cache stays intact during the call and a
+    /// clone of the Arc is handed out per spawn (the PR 4 cost model the
+    /// `fig16_replay_hotloop` baseline measures).
+    fn spawn_captured(&self, label: &'static str, priority: i32, deps: Deps, body: TaskBody) {
         let shared = &self.worker.shared;
-        if !shared.has_capture.load(Ordering::Acquire) {
-            return None;
-        }
-        if !unsafe { (*self.task).parent.is_null() } {
-            return None;
-        }
         let generation = shared.capture_generation.load(Ordering::Acquire);
-        let mut cache = self.capture_cache.borrow_mut();
-        let cap = match &*cache {
-            Some((g, cap)) if *g == generation => cap.clone(),
-            _ => {
-                let cap = shared.capture.lock().clone();
-                *cache = Some((generation, cap.clone()));
-                cap
-            }
+        let (g, cap) = match self.capture_cache.take() {
+            Some((g, cap)) if g == generation => (g, cap),
+            _ => (generation, shared.capture.lock().clone()),
         };
-        cap.filter(|c| c.active())
+        if !cap.as_ref().is_some_and(|c| c.active()) {
+            self.capture_cache.set(Some((g, cap)));
+            self.spawn_internal(label, priority, deps, body, None);
+            return;
+        }
+        if shared.cfg.replay_compat {
+            let capc = Arc::clone(cap.as_ref().expect("active capture"));
+            self.capture_cache.set(Some((g, cap)));
+            if let Some((deps, body)) = capc.on_spawn(self, label, priority, deps, body) {
+                let id = self.spawn_internal(label, priority, deps, body, None);
+                capc.on_spawned(id);
+            }
+            return;
+        }
+        {
+            let c = cap.as_ref().expect("active capture");
+            if let Some((deps, body)) = c.on_spawn(self, label, priority, deps, body) {
+                let id = self.spawn_internal(label, priority, deps, body, None);
+                c.on_spawned(id);
+            }
+        }
+        self.capture_cache.set(Some((g, cap)));
     }
 
     /// Create a child task with *manually managed* readiness: the task
@@ -807,6 +866,35 @@ impl TaskCtx<'_> {
         decls: Vec<crate::deps::AccessDecl>,
         body: impl FnOnce(&TaskCtx) + Send + 'static,
     ) -> HeldTask {
+        self.spawn_held_inner(label, priority, decls, Box::new(body), None)
+    }
+
+    /// Like [`TaskCtx::spawn_held`], but attaches a [`TaskEpilogue`] that
+    /// runs right after the body on the executing worker. The body is
+    /// passed through as the already-boxed [`TaskBody`] — together these
+    /// let a caller that manages many similar tasks (the replay engine's
+    /// steady state) avoid wrapping every body in a fresh closure
+    /// allocation per task per iteration.
+    pub fn spawn_held_with_epilogue(
+        &self,
+        label: &'static str,
+        priority: i32,
+        decls: Vec<crate::deps::AccessDecl>,
+        body: TaskBody,
+        epilogue: Arc<dyn TaskEpilogue>,
+        tag: u64,
+    ) -> HeldTask {
+        self.spawn_held_inner(label, priority, decls, body, Some((epilogue, tag)))
+    }
+
+    fn spawn_held_inner(
+        &self,
+        label: &'static str,
+        priority: i32,
+        decls: Vec<crate::deps::AccessDecl>,
+        body: TaskBody,
+        epilogue: Option<(Arc<dyn TaskEpilogue>, u64)>,
+    ) -> HeldTask {
         let shared = &self.worker.shared;
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
         self.worker.record(EventKind::CreateBegin, id);
@@ -814,15 +902,9 @@ impl TaskCtx<'_> {
         shared.live_tasks.fetch_add(1, Ordering::Relaxed);
         let t = shared.alloc.alloc(Layout::new::<Task>()) as *mut Task;
         unsafe {
-            let mut task = Task::new(
-                id,
-                label,
-                self.task,
-                self.worker.id as u32,
-                Box::new(body),
-                decls,
-            );
+            let mut task = Task::new(id, label, self.task, self.worker.id as u32, body, decls);
             task.priority = priority;
+            task.epilogue = epilogue;
             // No dependency registration: readiness is one release call
             // (+ the creation guard we drop below), and reclamation needs
             // only the subtree reference (no ASMs are materialized).
@@ -926,6 +1008,43 @@ impl TaskCtx<'_> {
         w.shared
             .sched
             .add_ready_batch_to(node, batch, w.id, Some(&mut rec));
+    }
+
+    /// Try to keep one node-targeted held-task release as this worker's
+    /// *inline* next task instead of inserting it into node `node`'s
+    /// queue — the composition of the zero-queue fast path with the
+    /// NUMA-aware replay partitioning: when the released task's assigned
+    /// node is the releasing worker's own node, running it inline
+    /// preserves the static schedule's placement *and* skips the queue
+    /// round-trip (dependence locality composes with partition locality
+    /// instead of bypassing it).
+    ///
+    /// Returns `true` when the task was taken (released exactly like
+    /// [`TaskCtx::release_held`] in deferred mode: it becomes the
+    /// worker's inline next task when the executing body's completion
+    /// window closes — the caller offers at most one candidate per
+    /// completion, so acceptance here means the task runs inline and
+    /// the `inline_routed` counter is exact). Returns `false` — and
+    /// does **not** release the handle — when the fast path is off, the
+    /// caller is the root task (whose releases must reach the other
+    /// workers eagerly), the inline depth bound has been reached (the
+    /// completion window would hand the task to the scheduler anyway),
+    /// or `node` is not this worker's node; the caller then routes the
+    /// task normally ([`TaskCtx::release_held_batch_to`]).
+    pub fn release_held_inline_to(&self, node: usize, h: HeldTask) -> bool {
+        let w = self.worker;
+        if !w.shared.cfg.inline_successors || !w.defer_held.get() {
+            return false;
+        }
+        if w.inline_depth.get() >= w.shared.cfg.inline_max_depth {
+            return false;
+        }
+        if w.shared.topology.node_of(w.id) != node {
+            return false;
+        }
+        self.release_held(h);
+        w.shared.inline_routed.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// OmpSs-2 `taskwait on(...)`: block until every earlier task whose
@@ -1061,7 +1180,8 @@ impl TaskCtx<'_> {
     }
 }
 
-/// Run one task body (no completion protocol).
+/// Run one task body (no completion protocol), then its epilogue hook
+/// if one is attached ([`TaskCtx::spawn_held_with_epilogue`]).
 fn run_body(w: &WorkerCtx, t: *mut Task) {
     let id = unsafe { (*t).id };
     w.record(EventKind::TaskStart, id);
@@ -1069,10 +1189,15 @@ fn run_body(w: &WorkerCtx, t: *mut Task) {
         let ctx = TaskCtx {
             task: t,
             worker: w,
-            capture_cache: RefCell::new(None),
+            capture_cache: core::cell::Cell::new(None),
         };
         let body = unsafe { (*t).take_body() }.expect("task executed twice");
         body(&ctx);
+        // SAFETY: only the executing worker touches `epilogue` after
+        // publication (same confinement as `take_body`).
+        if let Some((epi, tag)) = unsafe { (*t).epilogue.take() } {
+            epi.run(&ctx, tag);
+        }
     }
     w.record(EventKind::TaskEnd, id);
     w.shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
@@ -1121,13 +1246,16 @@ fn execute_task(w: &WorkerCtx, t: *mut Task) {
     let mut t = t;
     let mut depth: usize = 0;
     let saved_defer = w.defer_held.get();
+    let saved_depth = w.inline_depth.get();
     loop {
         // Held-task releases issued by this body become inline/batch
         // candidates — except from the root task, whose spawn-phase
         // releases must reach the other workers eagerly.
         w.defer_held.set(!unsafe { (*t).parent.is_null() });
+        w.inline_depth.set(depth);
         run_body(w, t);
         w.defer_held.set(saved_defer);
+        w.inline_depth.set(saved_depth);
 
         // Completion window: collect every task this completion releases.
         w.collecting.set(true);
@@ -1286,6 +1414,7 @@ impl Runtime {
             live_tasks: AtomicUsize::new(0),
             inline_runs: AtomicU64::new(0),
             max_inline_depth: AtomicU64::new(0),
+            inline_routed: AtomicU64::new(0),
             nested_spawns: AtomicU64::new(0),
             cfg,
         });
@@ -1384,9 +1513,14 @@ impl Runtime {
     /// Aggregate counters plus scheduler-operation and fast-path
     /// counters — the machine-checkable evidence behind perf claims.
     pub fn run_report(&self) -> RunReport {
+        let mut sched = self.shared.sched.op_stats();
+        // Runtime-side counter folded into the scheduler snapshot: the
+        // scheduler never sees an inline-kept routed release (that is
+        // the point), so it cannot count them itself.
+        sched.inline_routed = self.shared.inline_routed.load(Ordering::Relaxed);
         RunReport {
             stats: self.stats(),
-            sched: self.shared.sched.op_stats(),
+            sched,
             node_stats: self.shared.sched.node_stats(),
             inline_runs: self.shared.inline_runs.load(Ordering::Relaxed),
             max_inline_depth: self.shared.max_inline_depth.load(Ordering::Relaxed),

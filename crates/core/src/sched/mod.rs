@@ -59,6 +59,12 @@ pub struct SchedOpStats {
     pub targeted_batch_adds: u64,
     /// Tasks added through node-targeted batches.
     pub targeted_tasks: u64,
+    /// Partition-routed releases kept as the releasing worker's inline
+    /// next task instead of entering their node's queue — the zero-queue
+    /// fast path composed with the static schedule. Runtime-side: the
+    /// scheduler never sees these (that is the point), so scheduler
+    /// snapshots report 0 and `Runtime::run_report` folds the counter in.
+    pub inline_routed: u64,
 }
 
 /// Per-NUMA-node insertion counters of one scheduler, the
@@ -128,6 +134,7 @@ impl SchedCounters {
             lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
             targeted_batch_adds: self.targeted_batch_adds.load(Ordering::Relaxed),
             targeted_tasks: self.targeted_tasks.load(Ordering::Relaxed),
+            inline_routed: 0,
         }
     }
 }

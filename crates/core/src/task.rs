@@ -91,6 +91,11 @@ pub struct Task {
     /// for `red_slot` only, and the dependency system must not try to
     /// release them.
     pub registered: bool,
+    /// Post-body hook + tag ([`crate::runtime::TaskEpilogue`]), run on
+    /// the executing worker right after the body returns. The replay
+    /// engine's steady-state seam: one shared `Arc` per iteration
+    /// replaces a boxed wrapper closure per task. None everywhere else.
+    pub epilogue: Option<(std::sync::Arc<dyn crate::runtime::TaskEpilogue>, u64)>,
 }
 
 unsafe impl Send for Task {}
@@ -129,6 +134,7 @@ impl Task {
             completion_flag: None,
             priority: 0,
             registered: true,
+            epilogue: None,
         }
     }
 

@@ -43,9 +43,29 @@ pub struct GraphCache {
     tick: u64,
     entries: Vec<Entry>,
     evictions: u64,
+    /// Partitionings that survived their entry's eviction, FIFO-bounded:
+    /// `(structural hash, requested part count, assignment)`. A graph
+    /// re-entering the cache seeds its partitioning from here
+    /// ([`Partitioning::compute_seeded`]) instead of recomputing from
+    /// scratch, so worker caches stay warm across evictions.
+    evicted_parts: Vec<(u64, usize, Arc<Partitioning>)>,
+    /// Partitionings seeded from an evicted assignment.
+    part_seeds: u64,
+    /// Nodes adopted from seeds / total nodes of seeded computations.
+    part_seed_reused: u64,
+    part_seed_total: u64,
+    /// Accumulated partitioner operation counters across every
+    /// computation this cache performed (cached entries recompute once,
+    /// so these measure exactly the first-replay partitioning cost).
+    part_frontier_rescans: u64,
+    part_heap_ops: u64,
 }
 
 impl GraphCache {
+    /// Evicted assignments kept per cache slot (the stash is
+    /// `cap * EVICTED_PART_KEEP` entries, oldest dropped first).
+    const EVICTED_PART_KEEP: usize = 2;
+
     /// An empty cache holding at most `cap` graphs (min 1).
     pub fn new(cap: usize) -> Self {
         Self {
@@ -53,6 +73,12 @@ impl GraphCache {
             tick: 0,
             entries: Vec::new(),
             evictions: 0,
+            evicted_parts: Vec::new(),
+            part_seeds: 0,
+            part_seed_reused: 0,
+            part_seed_total: 0,
+            part_frontier_rescans: 0,
+            part_heap_ops: 0,
         }
     }
 
@@ -134,7 +160,18 @@ impl GraphCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
                 .expect("cache is non-empty when full");
-            self.entries.swap_remove(lru);
+            let victim = self.entries.swap_remove(lru);
+            // Eviction survival: stash the victim's partitioning so a
+            // re-entering graph seeds from it instead of recomputing.
+            if let Some((parts, p)) = victim.part {
+                let hash = victim.graph.structural_hash();
+                self.evicted_parts
+                    .retain(|&(h, n, _)| (h, n) != (hash, parts));
+                if self.evicted_parts.len() >= self.cap * Self::EVICTED_PART_KEEP {
+                    self.evicted_parts.remove(0);
+                }
+                self.evicted_parts.push((hash, parts, p));
+            }
             self.evictions += 1;
         }
         self.tick += 1;
@@ -151,18 +188,65 @@ impl GraphCache {
     /// the entry cache when already computed (with a matching part
     /// count), computed and cached otherwise. Graphs not in the cache
     /// (e.g. nested-pinned shapes) are partitioned without caching.
-    pub fn partitioning(&mut self, graph: &Arc<ReplayGraph>, parts: usize) -> Arc<Partitioning> {
-        if let Some(idx) = self.position(graph.structural_hash()) {
-            if let Some((requested, p)) = &self.entries[idx].part
-                && *requested == parts
-            {
-                return Arc::clone(p);
-            }
-            let p = Arc::new(Partitioning::compute(graph, parts));
-            self.entries[idx].part = Some((parts, Arc::clone(&p)));
-            return p;
+    ///
+    /// A fresh computation first checks the eviction stash: a graph that
+    /// re-enters after being evicted seeds from its saved assignment
+    /// ([`Partitioning::compute_seeded`], 100 % reuse on an unchanged
+    /// graph). `naive` selects the retained full-rescan reference
+    /// partitioner instead (`RuntimeConfig::replay_compat` — which, like
+    /// the pre-heap engine, also recomputes from scratch on re-entry).
+    /// Operation counters of every computation accumulate on the cache
+    /// ([`GraphCache::partition_stats`]).
+    pub fn partitioning(
+        &mut self,
+        graph: &Arc<ReplayGraph>,
+        parts: usize,
+        naive: bool,
+    ) -> Arc<Partitioning> {
+        let hash = graph.structural_hash();
+        if let Some(idx) = self.position(hash)
+            && let Some((requested, p)) = &self.entries[idx].part
+            && *requested == parts
+        {
+            return Arc::clone(p);
         }
-        Arc::new(Partitioning::compute(graph, parts))
+        let p = Arc::new(if naive {
+            Partitioning::compute_naive(graph, parts)
+        } else if let Some(pos) = self
+            .evicted_parts
+            .iter()
+            .position(|&(h, n, _)| (h, n) == (hash, parts))
+        {
+            let (_, _, seed) = self.evicted_parts.remove(pos);
+            Partitioning::compute_seeded(graph, parts, &seed)
+        } else {
+            Partitioning::compute(graph, parts)
+        });
+        let st = p.stats();
+        self.part_frontier_rescans += st.frontier_rescans;
+        self.part_heap_ops += st.heap_ops;
+        if st.seeded {
+            self.part_seeds += 1;
+            self.part_seed_reused += st.seed_reused as u64;
+            self.part_seed_total += graph.len() as u64;
+        }
+        if let Some(idx) = self.position(hash) {
+            self.entries[idx].part = Some((parts, Arc::clone(&p)));
+        }
+        p
+    }
+
+    /// Accumulated partitioner counters: `(frontier_rescans, heap_ops,
+    /// seeds, seed_reused_nodes, seed_total_nodes)` across every
+    /// partitioning this cache computed.
+    pub fn partition_stats(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.part_frontier_rescans,
+            self.part_heap_ops,
+            self.part_seeds,
+            self.part_seed_reused,
+            self.part_seed_total,
+        )
     }
 
     /// Count one fully-replayed iteration against the graph with this
@@ -217,13 +301,20 @@ mod tests {
     use nanotask_core::{AccessDecl, AccessMode};
 
     fn graph(addr: usize) -> Arc<ReplayGraph> {
-        let captured = vec![CapturedSpawn {
-            label: "t",
-            priority: 0,
-            decls: vec![AccessDecl::new(addr, 8, AccessMode::ReadWrite)],
-            body: None,
-            id: None,
-        }];
+        let captured = vec![CapturedSpawn::bare(
+            "t",
+            0,
+            vec![AccessDecl::new(addr, 8, AccessMode::ReadWrite)],
+        )];
+        Arc::new(ReplayGraph::build(&captured, &[]))
+    }
+
+    /// A two-independent-task graph (so a 2-way split is possible).
+    fn graph2(a: usize, b: usize) -> Arc<ReplayGraph> {
+        let captured = vec![
+            CapturedSpawn::bare("a", 0, vec![AccessDecl::new(a, 8, AccessMode::ReadWrite)]),
+            CapturedSpawn::bare("b", 0, vec![AccessDecl::new(b, 8, AccessMode::ReadWrite)]),
+        ];
         Arc::new(ReplayGraph::build(&captured, &[]))
     }
 
@@ -286,36 +377,60 @@ mod tests {
     #[test]
     fn partitioning_computed_once_and_cached() {
         let mut c = GraphCache::new(2);
-        // Two independent tasks so a 2-way split is actually possible.
-        let captured = vec![
-            CapturedSpawn {
-                label: "a",
-                priority: 0,
-                decls: vec![AccessDecl::new(0x10, 8, AccessMode::ReadWrite)],
-                body: None,
-                id: None,
-            },
-            CapturedSpawn {
-                label: "b",
-                priority: 0,
-                decls: vec![AccessDecl::new(0x20, 8, AccessMode::ReadWrite)],
-                body: None,
-                id: None,
-            },
-        ];
-        let g = Arc::new(ReplayGraph::build(&captured, &[]));
+        let g = graph2(0x10, 0x20);
         c.insert(Arc::clone(&g));
-        let p1 = c.partitioning(&g, 2);
-        let p2 = c.partitioning(&g, 2);
+        let p1 = c.partitioning(&g, 2, false);
+        let p2 = c.partitioning(&g, 2, false);
         assert!(Arc::ptr_eq(&p1, &p2), "second call served from the entry");
         // A different part count recomputes.
-        let p3 = c.partitioning(&g, 1);
+        let p3 = c.partitioning(&g, 1, false);
         assert!(!Arc::ptr_eq(&p1, &p3));
         assert_eq!(p3.parts(), 1);
         // Uncached graphs still get a (fresh) partitioning.
         let foreign = graph(0x999);
-        let pf = c.partitioning(&foreign, 2);
+        let pf = c.partitioning(&foreign, 2, false);
         assert_eq!(pf.assignments().len(), 1);
+    }
+
+    #[test]
+    fn evicted_partitioning_seeds_reentry() {
+        // Cache of 1: inserting a second graph evicts the first along
+        // with its partitioning; when the first graph re-enters, its
+        // partitioning must be seeded from the stash (full reuse), not
+        // recomputed from scratch.
+        let mut c = GraphCache::new(1);
+        let g = graph2(0x10, 0x20);
+        c.insert(Arc::clone(&g));
+        let original = c.partitioning(&g, 2, false);
+        c.insert(graph2(0x30, 0x40));
+        assert_eq!(c.evictions(), 1);
+        c.insert(Arc::clone(&g));
+        let reseeded = c.partitioning(&g, 2, false);
+        assert_eq!(*reseeded, *original, "identical placement after eviction");
+        assert!(reseeded.stats().seeded);
+        assert_eq!(reseeded.stats().seed_reused, 2);
+        let (_, _, seeds, reused, total) = c.partition_stats();
+        assert_eq!(seeds, 1);
+        assert_eq!((reused, total), (2, 2), "100% of the assignment reused");
+    }
+
+    #[test]
+    fn naive_partitioning_skips_seeding() {
+        // The compat (pre-heap) reference recomputes from scratch on
+        // re-entry — no seeding, and the rescan counter grows instead of
+        // the heap counter.
+        let mut c = GraphCache::new(1);
+        let g = graph2(0x10, 0x20);
+        c.insert(Arc::clone(&g));
+        let _ = c.partitioning(&g, 2, true);
+        c.insert(graph2(0x30, 0x40));
+        c.insert(Arc::clone(&g));
+        let p = c.partitioning(&g, 2, true);
+        assert!(!p.stats().seeded);
+        let (rescans, heap_ops, seeds, ..) = c.partition_stats();
+        assert!(rescans > 0);
+        assert_eq!(heap_ops, 0);
+        assert_eq!(seeds, 0);
     }
 
     #[test]

@@ -22,15 +22,16 @@ use std::sync::Arc;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use nanotask_core::deps::reduction::ReductionInfo;
-use nanotask_core::{Deps, HeldTask, Runtime, SpawnCapture, TaskBody, TaskCtx, TaskId};
+use nanotask_core::{
+    Deps, HeldTask, Runtime, SpawnCapture, TaskBody, TaskCtx, TaskEpilogue, TaskId,
+};
 use nanotask_trace::EventKind;
 
 use crate::cache::GraphCache;
 use crate::graph::ReplayGraph;
 use crate::partition::Partitioning;
 use crate::recorder::{
-    CaptureMode, CapturedSpawn, GraphRecorder, STRUCTURAL_HASH_SEED, chain_structural_hash,
-    spawn_sig_hash,
+    CaptureMode, CapturedSpawn, GraphRecorder, STRUCTURAL_HASH_SEED, SigHashMode,
 };
 
 /// What a [`RunIterative::run_iterative`] call did.
@@ -96,6 +97,24 @@ pub struct ReplayReport {
     /// Cut edges of the last replayed graph's partitioning (edges whose
     /// endpoints live on different NUMA nodes).
     pub partition_cut_edges: usize,
+    /// Full frontier re-scoring scans the partitioner performed across
+    /// this run (0 whenever the default heap partitioner is active — the
+    /// machine-checkable side of the O(n log n) claim; the retained
+    /// reference partitioner under `RuntimeConfig::replay_compat` pays
+    /// one per pick).
+    pub frontier_rescans: u64,
+    /// Heap pushes + pops the partitioner performed across this run
+    /// (0 under the reference partitioner).
+    pub heap_ops: u64,
+    /// Partitionings seeded from an assignment that survived cache
+    /// eviction (a graph re-entering the `GraphCache` adopts its old
+    /// placement instead of recomputing, keeping worker caches warm).
+    pub partition_seeds: u64,
+    /// Nodes adopted from eviction seeds / total nodes of seeded
+    /// computations (equal on unchanged graphs: 100 % reuse).
+    pub partition_seed_reused: u64,
+    /// See [`ReplayReport::partition_seed_reused`].
+    pub partition_seed_total: u64,
 }
 
 impl ReplayReport {
@@ -155,8 +174,14 @@ impl core::fmt::Display for ReplayReport {
         if self.partitions > 0 {
             write!(
                 f,
-                " | numa: partitions={} routed={} cut_edges={}",
-                self.partitions, self.routed_releases, self.partition_cut_edges
+                " | numa: partitions={} routed={} cut_edges={} \
+                 rescans={} heap_ops={} seeds={}",
+                self.partitions,
+                self.routed_releases,
+                self.partition_cut_edges,
+                self.frontier_rescans,
+                self.heap_ops,
+                self.partition_seeds,
             )?;
         }
         Ok(())
@@ -205,11 +230,23 @@ struct IterState {
     part: Option<Arc<Partitioning>>,
     /// Held-task releases routed through the node-targeted path.
     routed: AtomicU64,
+    /// Reference data path ([`nanotask_core::RuntimeConfig::replay_compat`]):
+    /// sweep reset, no inline-routing composition.
+    compat: bool,
 }
 
 impl IterState {
-    fn new(graph: Arc<ReplayGraph>, workers: usize, part: Option<Arc<Partitioning>>) -> Self {
-        graph.reset();
+    fn new(
+        graph: Arc<ReplayGraph>,
+        workers: usize,
+        part: Option<Arc<Partitioning>>,
+        compat: bool,
+    ) -> Self {
+        if compat {
+            graph.reset_sweep();
+        } else {
+            graph.reset();
+        }
         let groups = graph
             .groups()
             .iter()
@@ -224,6 +261,7 @@ impl IterState {
             launched: AtomicUsize::new(0),
             part,
             routed: AtomicU64::new(0),
+            compat,
         }
     }
 
@@ -269,6 +307,26 @@ impl IterState {
     /// as one node-targeted batch — the locality-aware static schedule
     /// of the frozen graph. Scratch buffers are thread-local so the
     /// per-completion hot path never allocates.
+    ///
+    /// With the zero-queue fast path on (and `replay_compat` off), one
+    /// *same-node* successor is kept as the releasing worker's inline
+    /// next task ([`TaskCtx::release_held_inline_to`]): dependence
+    /// locality composes with partition locality — the task still runs
+    /// on its assigned node, it just skips the node queue.
+    ///
+    /// # Re-entrancy audit (thread-local scratch)
+    ///
+    /// The `SCRATCH` borrow spans calls into `release_held_inline_to`
+    /// and `release_held_batch_to`. Neither can re-enter this function
+    /// on the same thread: an inline-kept release only *defers* the task
+    /// into the worker's pending buffer (the body runs after the current
+    /// completion window closes, long after the borrow is dropped), and
+    /// node-targeted insertion never executes task bodies synchronously
+    /// — every scheduler path ends at a queue push. The `try_borrow_mut`
+    /// below is the audit's backstop: if a future runtime change ever
+    /// makes a release path execute bodies synchronously, the fallback
+    /// keeps routing correct (with a one-off allocation) instead of
+    /// panicking mid-release.
     fn countdown_routed(&self, ctx: &TaskCtx, succs: &[u32], part: &Partitioning) {
         /// Reusable (node, handle) release buffer + contiguous handle
         /// batch, one pair per worker thread.
@@ -277,42 +335,108 @@ impl IterState {
             static SCRATCH: core::cell::RefCell<RouteScratch> =
                 const { core::cell::RefCell::new((Vec::new(), Vec::new())) };
         }
-        SCRATCH.with(|cell| {
-            let (ready, handles) = &mut *cell.borrow_mut();
-            ready.clear();
-            for &s in succs {
-                if let Some(t) = self.graph.countdown(s as usize) {
-                    self.launched.fetch_add(1, Ordering::Relaxed);
-                    // SAFETY: as in `countdown` — published by the
-                    // creator, released exactly once.
-                    ready.push((part.node_of(s as usize), unsafe { HeldTask::from_raw(t) }));
-                }
+        SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => {
+                let (ready, handles) = &mut *scratch;
+                self.route(ctx, succs, part, ready, handles);
             }
-            if ready.is_empty() {
-                return;
-            }
-            self.routed.fetch_add(ready.len() as u64, Ordering::Relaxed);
-            if let [(node, h)] = ready[..] {
-                // Single release (chains — the common case): no grouping.
-                ctx.release_held_batch_to(node, &[h]);
-                return;
-            }
-            // Group by node, preserving release order within each node
-            // (stable sort; successor lists are short).
-            ready.sort_by_key(|&(node, _)| node);
-            handles.clear();
-            handles.extend(ready.iter().map(|&(_, h)| h));
-            let mut start = 0;
-            while start < ready.len() {
-                let node = ready[start].0;
-                let mut end = start + 1;
-                while end < ready.len() && ready[end].0 == node {
-                    end += 1;
-                }
-                ctx.release_held_batch_to(node, &handles[start..end]);
-                start = end;
-            }
+            // Re-entered (see the audit above — impossible today):
+            // degrade to fresh buffers rather than poisoning the borrow.
+            Err(_) => self.route(ctx, succs, part, &mut Vec::new(), &mut Vec::new()),
         });
+    }
+
+    /// The body of [`IterState::countdown_routed`], parameterized over
+    /// the scratch buffers.
+    fn route(
+        &self,
+        ctx: &TaskCtx,
+        succs: &[u32],
+        part: &Partitioning,
+        ready: &mut Vec<(usize, HeldTask)>,
+        handles: &mut Vec<HeldTask>,
+    ) {
+        ready.clear();
+        for &s in succs {
+            if let Some(t) = self.graph.countdown(s as usize) {
+                self.launched.fetch_add(1, Ordering::Relaxed);
+                // SAFETY: as in `countdown` — published by the
+                // creator, released exactly once.
+                ready.push((part.node_of(s as usize), unsafe { HeldTask::from_raw(t) }));
+            }
+        }
+        if ready.is_empty() {
+            return;
+        }
+        self.routed.fetch_add(ready.len() as u64, Ordering::Relaxed);
+        if !self.compat {
+            // Fast-path composition: keep the first same-node successor
+            // inline (no-op when the fast path is off or the releaser is
+            // the root — `release_held_inline_to` declines and the task
+            // falls through to normal routing below).
+            let mut kept = None;
+            for (pos, &(node, h)) in ready.iter().enumerate() {
+                if ctx.release_held_inline_to(node, h) {
+                    kept = Some(pos);
+                    break;
+                }
+            }
+            if let Some(pos) = kept {
+                ready.remove(pos);
+                if ready.is_empty() {
+                    return;
+                }
+            }
+        }
+        if let [(node, h)] = ready[..] {
+            // Single release (chains — the common case): no grouping.
+            ctx.release_held_batch_to(node, &[h]);
+            return;
+        }
+        // Group by node, preserving release order within each node
+        // (stable sort; successor lists are short).
+        ready.sort_by_key(|&(node, _)| node);
+        handles.clear();
+        handles.extend(ready.iter().map(|&(_, h)| h));
+        let mut start = 0;
+        while start < ready.len() {
+            let node = ready[start].0;
+            let mut end = start + 1;
+            while end < ready.len() && ready[end].0 == node {
+                end += 1;
+            }
+            ctx.release_held_batch_to(node, &handles[start..end]);
+            start = end;
+        }
+    }
+
+    /// The post-body half of one fed task: fold finished reduction
+    /// groups, then release the node's successors (routed when
+    /// partitioning is on).
+    fn after_body(&self, tc: &TaskCtx, i: usize) {
+        // Last chain member folds the private slots into the target —
+        // before releasing successors, which may read it.
+        for &(_, gi) in self.graph.red_of(i) {
+            let g = &self.groups[gi as usize];
+            if g.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // SAFETY: every group member completed (counter hit
+                // zero) and successors are not yet released, so the
+                // target region is exclusively owned.
+                unsafe { g.info.combine_into_target() };
+            }
+        }
+        match &self.part {
+            // Partitioning off: the original (byte-identical) release
+            // path through the producer's home buffer.
+            None => {
+                for &s in self.graph.succs(i) {
+                    self.countdown(tc, s);
+                }
+            }
+            // Partitioning on: group the newly-released successors by
+            // their partition and batch each group to its node.
+            Some(p) => self.countdown_routed(tc, self.graph.succs(i), p),
+        }
     }
 
     /// Feed one matched spawn into the frozen graph: spawn the body held
@@ -323,52 +447,74 @@ impl IterState {
         // iteration's group instances to bare copies of the declarations.
         // Non-reduction declarations impose no ordering during replay and
         // are dropped to keep held-task creation allocation-free.
-        let decls: Vec<_> = node
-            .red
+        let decls: Vec<_> = self
+            .graph
+            .red_of(i)
             .iter()
             .map(|(d, gi)| {
                 let mut d = d.clone();
-                d.reduction = Some(Arc::clone(&self.groups[*gi].info));
+                d.reduction = Some(Arc::clone(&self.groups[*gi as usize].info));
                 d
             })
             .collect();
-        let st = Arc::clone(self_arc);
-        let wrapped = move |tc: &TaskCtx| {
-            body(tc);
-            let node = &st.graph.nodes()[i];
-            // Last chain member folds the private slots into the target —
-            // before releasing successors, which may read it.
-            for &(_, gi) in &node.red {
-                let g = &st.groups[gi];
-                if g.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    // SAFETY: every group member completed (counter hit
-                    // zero) and successors are not yet released, so the
-                    // target region is exclusively owned.
-                    unsafe { g.info.combine_into_target() };
-                }
-            }
-            match &st.part {
-                // Partitioning off: the original (byte-identical) release
-                // path through the producer's home buffer.
-                None => {
-                    for &s in &node.succs {
-                        st.countdown(tc, s);
-                    }
-                }
-                // Partitioning on: group the newly-released successors by
-                // their partition and batch each group to its node.
-                Some(p) => st.countdown_routed(tc, &node.succs, p),
-            }
+        let held = if self.compat {
+            // PR 4 data path: wrap every body in a fresh boxed closure
+            // (one allocation per task per iteration).
+            let st = Arc::clone(self_arc);
+            let wrapped = move |tc: &TaskCtx| {
+                body(tc);
+                st.after_body(tc, i);
+            };
+            ctx.spawn_held(node.label, node.priority, decls, wrapped)
+        } else {
+            // Hot loop: pass the user's already-boxed body straight
+            // through and hang the successor-release logic on the shared
+            // per-iteration epilogue — no wrapper allocation.
+            ctx.spawn_held_with_epilogue(
+                node.label,
+                node.priority,
+                decls,
+                body,
+                Arc::clone(self_arc) as Arc<dyn TaskEpilogue>,
+                i as u64,
+            )
         };
-        let held = ctx.spawn_held(node.label, node.priority, decls, wrapped);
         self.graph.publish(i, held.into_raw());
         // Drop the creation hold; releases the task if all its
         // predecessors already finished (or it has none) — routed to its
         // partition's node when partitioning is on.
         match &self.part {
             None => self.countdown(ctx, i as u32),
-            Some(p) => self.countdown_routed(ctx, &[i as u32], p),
+            // PR 4 path: every hold drop goes through the routed-release
+            // scratch machinery, released or not.
+            Some(p) if self.compat => self.countdown_routed(ctx, &[i as u32], p),
+            // Hot loop: decrement first — only the rare hold drop that
+            // actually releases (a root of the graph, or a node whose
+            // predecessors all finished during the spawn phase) pays the
+            // routing path; interior nodes cost one atomic decrement.
+            Some(p) => {
+                if let Some(t) = self.graph.countdown(i) {
+                    self.launched.fetch_add(1, Ordering::Relaxed);
+                    self.routed.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: as in `countdown` — published by the
+                    // creator (just above), released exactly once.
+                    let h = unsafe { HeldTask::from_raw(t) };
+                    let node = p.node_of(i);
+                    if !ctx.release_held_inline_to(node, h) {
+                        ctx.release_held_batch_to(node, &[h]);
+                    }
+                }
+            }
         }
+    }
+}
+
+impl TaskEpilogue for IterState {
+    /// The hot-loop steady-state hook: one shared object per iteration
+    /// runs every fed task's post-body logic (`tag` = graph node index)
+    /// — no per-task wrapper closure survives freezing.
+    fn run(&self, ctx: &TaskCtx, tag: u64) {
+        self.after_body(ctx, tag as usize);
     }
 }
 
@@ -445,13 +591,20 @@ struct EngineCapture {
     /// original single-graph design (divergence discards the graph and
     /// the next iteration blindly re-records).
     hysteresis: bool,
+    /// Reference data path ([`nanotask_core::RuntimeConfig::replay_compat`]):
+    /// sweep reset, full-rescan partitioner, byte-FNV hashing, no inline
+    /// routing.
+    compat: bool,
+    /// Signature/structural hash function of this run (fixed:
+    /// recorded sigs and fed sigs must come from the same function).
+    hmode: SigHashMode,
 }
 
 unsafe impl Send for EngineCapture {}
 unsafe impl Sync for EngineCapture {}
 
 impl EngineCapture {
-    fn new(workers: usize, cache_size: usize, parts: usize) -> Self {
+    fn new(workers: usize, cache_size: usize, parts: usize, compat: bool) -> Self {
         Self {
             mode: UnsafeCell::new(Mode::Off),
             recorder: GraphRecorder::new(),
@@ -459,6 +612,8 @@ impl EngineCapture {
             workers,
             parts,
             hysteresis: cache_size > 1,
+            compat,
+            hmode: SigHashMode::for_compat(compat),
         }
     }
 
@@ -469,11 +624,11 @@ impl EngineCapture {
     /// Calls `self.cache()` — root-thread confinement (see type docs).
     fn make_state(&self, g: Arc<ReplayGraph>) -> Arc<IterState> {
         let part = if self.parts > 0 {
-            Some(unsafe { self.cache() }.partitioning(&g, self.parts))
+            Some(unsafe { self.cache() }.partitioning(&g, self.parts, self.compat))
         } else {
             None
         };
-        Arc::new(IterState::new(g, self.workers, part))
+        Arc::new(IterState::new(g, self.workers, part, self.compat))
     }
 
     /// # Safety
@@ -576,7 +731,9 @@ impl SpawnCapture for EngineCapture {
             Mode::Off => Some((deps, body)),
             Mode::Record => self.recorder.on_spawn(ctx, label, priority, deps, body),
             Mode::Probe { hash } => {
-                *hash = chain_structural_hash(*hash, spawn_sig_hash(label, priority, deps.decls()));
+                *hash = self
+                    .hmode
+                    .chain(*hash, self.hmode.sig(label, priority, deps.decls()));
                 Some((deps, body))
             }
             Mode::Feed {
@@ -588,19 +745,13 @@ impl SpawnCapture for EngineCapture {
             } => {
                 if *diverged {
                     if self.hysteresis {
-                        captured.push(CapturedSpawn {
-                            label,
-                            priority,
-                            decls: deps.decls().to_vec(),
-                            body: None,
-                            id: None,
-                        });
+                        captured.push(CapturedSpawn::bare(label, priority, deps.decls().to_vec()));
                     }
                     return Some((deps, body));
                 }
                 let i = *next;
                 *next = i + 1;
-                let sig = spawn_sig_hash(label, priority, deps.decls());
+                let sig = self.hmode.sig(label, priority, deps.decls());
                 let matched = {
                     let nodes = state.graph.nodes();
                     i < nodes.len() && nodes[i].sig == sig
@@ -631,14 +782,12 @@ impl SpawnCapture for EngineCapture {
                 // engine can probe the cache / freeze it afterwards.
                 *diverged = true;
                 if self.hysteresis {
+                    // The fed prefix references the frozen decl arena by
+                    // CSR index (no cloning); only the one diverging
+                    // spawn's live declarations are copied — the `deps`
+                    // must proceed into the dependency system.
                     let mut cv = state.graph.prefix_captured(i);
-                    cv.push(CapturedSpawn {
-                        label,
-                        priority,
-                        decls: deps.decls().to_vec(),
-                        body: None,
-                        id: None,
-                    });
+                    cv.push(CapturedSpawn::bare(label, priority, deps.decls().to_vec()));
                     *captured = cv;
                 }
                 ctx.taskwait();
@@ -677,9 +826,10 @@ impl RunIterative for Runtime {
         } else {
             0
         };
+        let compat = cfg.replay_compat;
 
         let body = Arc::new(body);
-        let capture = Arc::new(EngineCapture::new(workers, cache_size, parts));
+        let capture = Arc::new(EngineCapture::new(workers, cache_size, parts, compat));
         self.set_spawn_capture(Some(Arc::clone(&capture) as _));
         let prev_graph_recording = self.graph_recording();
         self.clear_graph_edges();
@@ -781,7 +931,7 @@ impl RunIterative for Runtime {
                         ctx.set_graph_recording(prev_graph_recording);
                         let tap = ctx.take_graph_edges();
                         let nested = ctx.nested_spawn_count() - nested0;
-                        let g = Arc::new(ReplayGraph::build(&captured, &tap));
+                        let g = Arc::new(ReplayGraph::build_with(&captured, &tap, cap.hmode));
                         ctx.trace_mark(EventKind::ReplayRecordEnd, g.len() as u64);
                         report.rerecords += 1;
                         report.cache_misses += 1;
@@ -906,7 +1056,7 @@ impl RunIterative for Runtime {
                                 } else {
                                     end.state.graph.prefix_captured(end.spawned)
                                 };
-                                let h = GraphRecorder::structural_hash(&captured);
+                                let h = cap.hmode.structural_hash(&captured);
                                 if let Some(hit) = cache!().get(h) {
                                     report.cache_hits += 1;
                                     ctx.trace_mark(EventKind::ReplayCacheHit, iter as u64);
@@ -922,7 +1072,11 @@ impl RunIterative for Runtime {
                                 } else {
                                     report.rerecords += 1;
                                     report.cache_misses += 1;
-                                    let ng = Arc::new(ReplayGraph::build(&captured, &[]));
+                                    let ng = Arc::new(ReplayGraph::build_with(
+                                        &captured,
+                                        &[],
+                                        cap.hmode,
+                                    ));
                                     last_graph = Some(Arc::clone(&ng));
                                     if nested > 0 {
                                         pin_nested!();
@@ -965,6 +1119,12 @@ impl RunIterative for Runtime {
             }
             report.cache_evictions = cache!().evictions();
             report.per_graph_replays = cache!().per_graph_replays();
+            let (rescans, heap_ops, seeds, seed_reused, seed_total) = cache!().partition_stats();
+            report.frontier_rescans = rescans;
+            report.heap_ops = heap_ops;
+            report.partition_seeds = seeds;
+            report.partition_seed_reused = seed_reused;
+            report.partition_seed_total = seed_total;
             *result.lock().unwrap() = report;
         });
         self.set_spawn_capture(None);
@@ -1693,6 +1853,123 @@ mod tests {
         let per_iter: f64 = (n * (n + 1) / 2) as f64;
         assert_eq!(unsafe { *acc }, per_iter * iters as f64);
         unsafe { drop(Box::from_raw(acc)) };
+    }
+
+    #[test]
+    fn partitioned_fast_path_keeps_same_node_successors_inline() {
+        // Zero-queue fast path × NUMA partitioning: a replayed chain's
+        // same-node successors must run inline (dependence locality
+        // composing with partition locality) instead of round-tripping
+        // their node queue — counted by `SchedOpStats::inline_routed`.
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(4)
+                .with_numa_nodes(2)
+                .with_replay_partitioning(true)
+                .fast_path(true),
+        );
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = SendPtr::new(data);
+        let report = rt.run_iterative(6, move |ctx| {
+            for _ in 0..20 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { *data }, 120);
+        assert_eq!(report.replayed, 5);
+        assert!(report.routed_releases > 0, "{report}");
+        assert_eq!(report.frontier_rescans, 0, "heap partitioner active");
+        assert!(report.heap_ops > 0, "{report}");
+        let rr = rt.run_report();
+        assert!(
+            rr.sched.inline_routed > 0,
+            "same-node successors kept inline: {:?}",
+            rr.sched
+        );
+        assert!(
+            rr.sched.inline_routed <= report.routed_releases,
+            "inline-kept releases are a subset of routed releases"
+        );
+        check_invariants(&report);
+        assert_eq!(rt.live_tasks(), 0);
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn compat_mode_runs_reference_path() {
+        // `replay_compat` selects the retained PR 4 data path: sweep
+        // reset, full-rescan partitioner, no inline-routing composition.
+        // Results are identical; only the counters differ.
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(4)
+                .with_numa_nodes(2)
+                .with_replay_partitioning(true)
+                .with_replay_compat(true)
+                .fast_path(true),
+        );
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = SendPtr::new(data);
+        let report = rt.run_iterative(6, move |ctx| {
+            for _ in 0..20 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        assert_eq!(unsafe { *data }, 120);
+        assert_eq!(report.replayed, 5);
+        assert!(report.frontier_rescans > 0, "naive partitioner: {report}");
+        assert_eq!(report.heap_ops, 0, "{report}");
+        assert_eq!(report.partition_seeds, 0, "no eviction seeding");
+        let rr = rt.run_report();
+        assert_eq!(
+            rr.sched.inline_routed, 0,
+            "reference path never keeps routed releases inline"
+        );
+        check_invariants(&report);
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn eviction_reentry_seeds_partitioning() {
+        // Period-3 phase cycle with a 2-entry cache and partitioning on:
+        // shapes keep evicting each other, and every re-entry must adopt
+        // the evicted assignment (100 % reuse — the graphs re-enter
+        // unchanged) instead of recomputing from scratch.
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(2)
+                .with_numa_nodes(2)
+                .with_replay_partitioning(true)
+                .with_replay_cache_size(2)
+                .with_replay_giveup_after(0),
+        );
+        let slots = Box::leak(vec![0u64; 3].into_boxed_slice());
+        let base = SendPtr::new(slots.as_mut_ptr());
+        let iter = Arc::new(AtomicU64::new(0));
+        let report = rt.run_iterative(12, move |ctx| {
+            let i = iter.fetch_add(1, Ordering::Relaxed) as usize;
+            let p = unsafe { base.add(i % 3) };
+            for _ in 0..4 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                    *p.get() += 1;
+                });
+            }
+        });
+        for s in slots.iter() {
+            assert_eq!(*s, 16);
+        }
+        assert!(report.cache_evictions > 0, "{report:?}");
+        assert!(report.partition_seeds > 0, "re-entries seeded: {report}");
+        assert_eq!(
+            report.partition_seed_reused, report.partition_seed_total,
+            "unchanged graphs reuse the full assignment: {report}"
+        );
+        check_invariants(&report);
+        unsafe { drop(Box::from_raw(slots as *mut [u64])) };
     }
 
     #[test]

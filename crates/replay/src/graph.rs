@@ -1,5 +1,5 @@
-//! The frozen [`ReplayGraph`]: immutable successor lists plus per-task
-//! atomic in-degree counters.
+//! The frozen [`ReplayGraph`]: a compressed-sparse-row task graph plus
+//! per-task atomic in-degree counters.
 //!
 //! The builder derives replay edges from the captured access sets with
 //! the same semantics the dependency systems implement:
@@ -11,6 +11,17 @@
 //!   on private per-worker slots and is combined into the target once,
 //!   when its last member finishes (see the engine).
 //!
+//! **Steady-state layout.** Everything a replayed iteration walks lives
+//! in shared CSR arenas built once at freeze time — successor lists
+//! (`succ_off`/`succ_data`), access declarations (`decl_off`/
+//! `decl_data`) and reduction memberships (`red_off`/`red_data`) are
+//! contiguous slices indexed by node, not per-node heap vectors. No
+//! per-node allocation survives freezing, successor walks are linear
+//! scans, and the per-iteration reset of the in-degree counters is a
+//! single `memcpy` from a precomputed template ([`ReplayGraph::reset`];
+//! the node-by-node sweep of the pre-CSR engine is retained as
+//! [`ReplayGraph::reset_sweep`] for the differential reference path).
+//!
 //! The dependency-edge tap (`GraphEdge`) from the instrumented record
 //! iteration is kept as a cross-check: tapped successor edges between
 //! captured tasks must connect nodes the decl-derived graph also
@@ -18,16 +29,21 @@
 //! linking into the recorded iteration (counted, for diagnostics).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
 
 use nanotask_core::graph::{EdgeKind, GraphEdge};
 use nanotask_core::task::Task;
 use nanotask_core::{AccessDecl, AccessMode, RedOp, TaskId};
 
-use crate::recorder::{CapturedSpawn, GraphRecorder, spawn_sig_hash};
+use crate::recorder::{CapturedDecls, CapturedSpawn, SigHashMode};
 
-/// One node of the frozen graph (creation order = node index).
-pub struct ReplayNode {
+/// Scalar metadata of one frozen node (creation order = node index).
+/// Variable-length data — successors, declarations, reduction
+/// memberships — lives in the graph's CSR arenas, reached through
+/// [`ReplayGraph::succs`], [`ReplayGraph::decls_of`] and
+/// [`ReplayGraph::red_of`].
+pub struct NodeMeta {
     /// Task label.
     pub label: &'static str,
     /// Scheduling priority.
@@ -35,18 +51,8 @@ pub struct ReplayNode {
     /// Signature hash of (label, priority, access set) — what the replay
     /// engine matches incoming spawns against.
     pub sig: u64,
-    /// Nodes that become releasable when this node completes.
-    pub succs: Vec<u32>,
     /// Number of predecessor edges.
     pub indeg: u32,
-    /// Reduction accesses: the bare declaration (no chain state attached)
-    /// and the index of the [`RedGroup`] it participates in.
-    pub red: Vec<(AccessDecl, usize)>,
-    /// The full recorded access set, exactly as captured (bare, no chain
-    /// state). Kept so a divergent iteration can reconstruct the
-    /// already-fed prefix as [`CapturedSpawn`]s and freeze its *own*
-    /// graph without a dedicated re-record pass.
-    pub decls: Vec<AccessDecl>,
 }
 
 /// A reduction chain instance: consecutive same-op reduction accesses on
@@ -65,7 +71,20 @@ pub struct RedGroup {
 
 /// The frozen, replayable task graph of one iteration.
 pub struct ReplayGraph {
-    nodes: Vec<ReplayNode>,
+    /// Per-node scalars, creation order.
+    meta: Vec<NodeMeta>,
+    /// CSR successor arena: node `i`'s successors are
+    /// `succ_data[succ_off[i]..succ_off[i + 1]]`.
+    succ_off: Vec<u32>,
+    succ_data: Vec<u32>,
+    /// CSR declaration arena (bare, no chain state): the single copy of
+    /// every recorded access set — divergence reconstruction references
+    /// it by index instead of cloning ([`ReplayGraph::prefix_captured`]).
+    decl_off: Vec<u32>,
+    decl_data: Vec<AccessDecl>,
+    /// CSR reduction arena: `(bare decl, group index)` memberships.
+    red_off: Vec<u32>,
+    red_data: Vec<(AccessDecl, u32)>,
     groups: Vec<RedGroup>,
     hash: u64,
     edges: usize,
@@ -75,9 +94,11 @@ pub struct ReplayGraph {
     /// Tapped edges touching task ids outside the captured set (nested
     /// children linking into the recorded iteration).
     foreign_edges: usize,
-    /// In-degree countdown per node; `indeg + 1` per iteration (the +1
-    /// is the creation hold, dropped by the engine after the node's held
-    /// task exists).
+    /// Precomputed reset image of `pending`: `indeg + 1` per node (the
+    /// +1 is the creation hold, dropped by the engine after the node's
+    /// held task exists). One `memcpy` of this restores all counters.
+    pending_template: Vec<u32>,
+    /// In-degree countdown per node for the current iteration.
     pending: Vec<AtomicU32>,
     /// The held task of each node for the current iteration.
     slots: Vec<AtomicPtr<Task>>,
@@ -131,30 +152,50 @@ fn coalesced(decls: &[AccessDecl]) -> Vec<AccessDecl> {
 }
 
 impl ReplayGraph {
-    /// Freeze a captured iteration. `tap` is the dependency-edge record
-    /// of the instrumented iteration (may be empty when unavailable,
-    /// e.g. after a divergence re-record).
+    /// Freeze a captured iteration with the default (word-folded)
+    /// signature hash. `tap` is the dependency-edge record of the
+    /// instrumented iteration (may be empty when unavailable, e.g. after
+    /// a divergence re-record).
     pub fn build(captured: &[CapturedSpawn], tap: &[GraphEdge]) -> Self {
+        Self::build_with(captured, tap, SigHashMode::Folded)
+    }
+
+    /// Freeze a captured iteration under an explicit [`SigHashMode`] —
+    /// the node signatures and the structural hash must come from the
+    /// same function the engine will match fed spawns with.
+    pub fn build_with(captured: &[CapturedSpawn], tap: &[GraphEdge], mode: SigHashMode) -> Self {
         let n = captured.len();
-        let mut nodes: Vec<ReplayNode> = captured
+        let mut meta: Vec<NodeMeta> = captured
             .iter()
-            .map(|c| ReplayNode {
+            .map(|c| NodeMeta {
                 label: c.label,
                 priority: c.priority,
-                sig: spawn_sig_hash(c.label, c.priority, &c.decls),
-                succs: Vec::new(),
+                sig: mode.sig(c.label, c.priority, c.decls.as_slice()),
                 indeg: 0,
-                red: Vec::new(),
-                decls: c.decls.iter().map(bare_decl).collect(),
             })
             .collect();
+
+        // Declaration arena: the bare access sets, one contiguous run per
+        // node — the single frozen copy ([`ReplayGraph::prefix_captured`]
+        // and the partitioner index into it, nothing re-clones it).
+        let mut decl_off: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut decl_data: Vec<AccessDecl> = Vec::new();
+        decl_off.push(0);
+        for c in captured {
+            decl_data.extend(c.decls.as_slice().iter().map(bare_decl));
+            decl_off.push(decl_data.len() as u32);
+        }
+
         let mut groups: Vec<RedGroup> = Vec::new();
+        let mut red_off: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut red_data: Vec<(AccessDecl, u32)> = Vec::new();
+        red_off.push(0);
         let mut edges: Vec<(u32, u32)> = Vec::new();
         let mut per_addr: HashMap<usize, AddrState> = HashMap::new();
 
         for (i, c) in captured.iter().enumerate() {
             let i = i as u32;
-            for d in &coalesced(&c.decls) {
+            for d in &coalesced(c.decls.as_slice()) {
                 let class = match d.mode {
                     AccessMode::Read => GroupClass::Readers,
                     AccessMode::Reduction(op) => {
@@ -200,19 +241,26 @@ impl ReplayGraph {
                 }
                 if let GroupClass::Red(_, gi) = st.class {
                     groups[gi].members += 1;
-                    nodes[i as usize]
-                        .red
-                        .push((AccessDecl::new(d.addr, d.len, d.mode), gi));
+                    red_data.push((AccessDecl::new(d.addr, d.len, d.mode), gi as u32));
                 }
             }
+            red_off.push(red_data.len() as u32);
         }
 
         edges.sort_unstable();
         edges.dedup();
+        // Sorted-deduplicated edge pairs ARE the successor CSR: the `to`
+        // fields in order form the arena, the `from` runs the offsets.
+        let mut succ_off: Vec<u32> = vec![0; n + 1];
+        let mut succ_data: Vec<u32> = Vec::with_capacity(edges.len());
         for &(from, to) in &edges {
             debug_assert!(from < to, "edges point forward in creation order");
-            nodes[from as usize].succs.push(to);
-            nodes[to as usize].indeg += 1;
+            succ_off[from as usize + 1] += 1;
+            succ_data.push(to);
+            meta[to as usize].indeg += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
         }
 
         // Cross-check against the tapped dependency-system edges.
@@ -233,17 +281,25 @@ impl ReplayGraph {
             }
         }
 
+        let pending_template: Vec<u32> = meta.iter().map(|m| m.indeg + 1).collect();
         let pending = (0..n).map(|_| AtomicU32::new(0)).collect();
         let slots = (0..n)
             .map(|_| AtomicPtr::new(core::ptr::null_mut()))
             .collect();
         Self {
-            hash: GraphRecorder::structural_hash(captured),
+            hash: mode.structural_hash(captured),
             edges: edges.len(),
-            nodes,
+            meta,
+            succ_off,
+            succ_data,
+            decl_off,
+            decl_data,
+            red_off,
+            red_data,
             groups,
             tapped_edges,
             foreign_edges,
+            pending_template,
             pending,
             slots,
         }
@@ -251,17 +307,38 @@ impl ReplayGraph {
 
     /// Number of tasks.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.meta.len()
     }
 
     /// True for a graph with no tasks.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.meta.is_empty()
     }
 
-    /// The nodes, in creation order.
-    pub fn nodes(&self) -> &[ReplayNode] {
-        &self.nodes
+    /// Per-node scalar metadata, in creation order.
+    pub fn nodes(&self) -> &[NodeMeta] {
+        &self.meta
+    }
+
+    /// Successors of node `i` (nodes that become releasable when it
+    /// completes): a contiguous CSR slice, no pointer chase.
+    #[inline]
+    pub fn succs(&self, i: usize) -> &[u32] {
+        &self.succ_data[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+    }
+
+    /// The full recorded access set of node `i`, exactly as captured
+    /// (bare, no chain state): a slice of the frozen declaration arena.
+    #[inline]
+    pub fn decls_of(&self, i: usize) -> &[AccessDecl] {
+        &self.decl_data[self.decl_off[i] as usize..self.decl_off[i + 1] as usize]
+    }
+
+    /// Reduction memberships of node `i`: `(bare declaration, index of
+    /// the [`RedGroup`] it participates in)`.
+    #[inline]
+    pub fn red_of(&self, i: usize) -> &[(AccessDecl, u32)] {
+        &self.red_data[self.red_off[i] as usize..self.red_off[i + 1] as usize]
     }
 
     /// The reduction groups.
@@ -277,21 +354,25 @@ impl ReplayGraph {
     /// Signature hash of the first recorded spawn (`None` for an empty
     /// graph) — the cache's phase-switch lookup key.
     pub fn first_sig(&self) -> Option<u64> {
-        self.nodes.first().map(|n| n.sig)
+        self.meta.first().map(|n| n.sig)
     }
 
     /// Reconstruct the first `n` recorded spawns as [`CapturedSpawn`]s
     /// (metadata only, no bodies/ids). Used by the replay engine to
     /// freeze a divergent iteration's graph: its already-fed prefix
     /// matched these nodes by signature hash, so the recorded metadata
-    /// stands in for the spawns actually observed.
-    pub fn prefix_captured(&self, n: usize) -> Vec<CapturedSpawn> {
-        self.nodes[..n.min(self.nodes.len())]
-            .iter()
-            .map(|nd| CapturedSpawn {
-                label: nd.label,
-                priority: nd.priority,
-                decls: nd.decls.clone(),
+    /// stands in for the spawns actually observed. The declarations are
+    /// *referenced* by CSR index into this graph's frozen decl arena
+    /// ([`CapturedDecls::Frozen`]) — nothing is cloned.
+    pub fn prefix_captured(self: &Arc<Self>, n: usize) -> Vec<CapturedSpawn> {
+        (0..n.min(self.meta.len()))
+            .map(|i| CapturedSpawn {
+                label: self.meta[i].label,
+                priority: self.meta[i].priority,
+                decls: CapturedDecls::Frozen {
+                    graph: Arc::clone(self),
+                    node: i as u32,
+                },
                 body: None,
                 id: None,
             })
@@ -314,11 +395,11 @@ impl ReplayGraph {
         self.foreign_edges
     }
 
-    /// All edges as `(from, to)` node-index pairs (test support).
+    /// All edges as `(from, to)` node-index pairs (test/analysis support).
     pub fn edge_pairs(&self) -> Vec<(u32, u32)> {
         let mut v = Vec::with_capacity(self.edges);
-        for (i, nd) in self.nodes.iter().enumerate() {
-            for &s in &nd.succs {
+        for i in 0..self.meta.len() {
+            for &s in self.succs(i) {
                 v.push((i as u32, s));
             }
         }
@@ -326,13 +407,44 @@ impl ReplayGraph {
     }
 
     /// Reset every in-degree counter to `indeg + 1` and clear the task
-    /// slots — O(tasks), run once before each replayed iteration. The
-    /// `+1` is the *creation hold*: it guarantees a node cannot be
-    /// released before its held task exists, even if all its
-    /// predecessors finish while the creator is still spawning.
+    /// slots — run once before each replayed iteration. The `+1` is the
+    /// *creation hold*: it guarantees a node cannot be released before
+    /// its held task exists, even if all its predecessors finish while
+    /// the creator is still spawning.
+    ///
+    /// Two plain `memcpy`s from the freeze-time template, not a
+    /// node-by-node sweep: the caller holds the iteration barrier (the
+    /// previous iteration's subtree completed, nothing else touches the
+    /// graph), so the non-atomic bulk writes race with nothing — all
+    /// prior worker accesses happen-before the barrier, and all later
+    /// ones happen-after the tasks are published.
     pub fn reset(&self) {
-        for (i, nd) in self.nodes.iter().enumerate() {
-            self.pending[i].store(nd.indeg + 1, Ordering::Relaxed);
+        let n = self.pending.len();
+        if n == 0 {
+            return;
+        }
+        // SAFETY: `AtomicU32` has the same size and bit validity as
+        // `u32`, `AtomicPtr<T>` as `*mut T`, and the null pointer is the
+        // all-zero bit pattern on every supported target. Exclusive
+        // access per the barrier contract above.
+        unsafe {
+            core::ptr::copy_nonoverlapping(
+                self.pending_template.as_ptr(),
+                self.pending.as_ptr() as *mut u32,
+                n,
+            );
+            core::ptr::write_bytes(self.slots.as_ptr() as *mut *mut Task, 0, n);
+        }
+    }
+
+    /// The pre-CSR engine's reset: one relaxed store per node. Retained
+    /// as the reference data path for the differential conformance tests
+    /// and the `fig16_replay_hotloop` baseline
+    /// (`RuntimeConfig::replay_compat`); behavior is identical to
+    /// [`ReplayGraph::reset`], only the per-iteration cost differs.
+    pub fn reset_sweep(&self) {
+        for i in 0..self.pending.len() {
+            self.pending[i].store(self.pending_template[i], Ordering::Relaxed);
             self.slots[i].store(core::ptr::null_mut(), Ordering::Relaxed);
         }
     }
@@ -360,13 +472,7 @@ mod tests {
     use super::*;
 
     fn cap(label: &'static str, decls: Vec<AccessDecl>) -> CapturedSpawn {
-        CapturedSpawn {
-            label,
-            priority: 0,
-            decls,
-            body: None,
-            id: None,
-        }
+        CapturedSpawn::bare(label, 0, decls)
     }
 
     fn rw(addr: usize) -> AccessDecl {
@@ -438,8 +544,8 @@ mod tests {
         assert_eq!(g.edge_pairs(), vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
         assert_eq!(g.groups().len(), 1);
         assert_eq!(g.groups()[0].members, 2);
-        assert_eq!(g.nodes()[1].red.len(), 1);
-        assert_eq!(g.nodes()[2].red.len(), 1);
+        assert_eq!(g.red_of(1).len(), 1);
+        assert_eq!(g.red_of(2).len(), 1);
     }
 
     #[test]
@@ -482,6 +588,26 @@ mod tests {
     }
 
     #[test]
+    fn csr_arenas_match_per_node_views() {
+        // The decl arena holds each node's captured set verbatim (bare)
+        // and the successor arena is one contiguous run per node.
+        let g = ReplayGraph::build(
+            &[
+                cap("a", vec![rw(0x10), rd(0x20)]),
+                cap("b", vec![rw(0x10)]),
+                cap("c", vec![rd(0x10)]),
+            ],
+            &[],
+        );
+        let addrs = |i: usize| g.decls_of(i).iter().map(|d| d.addr).collect::<Vec<_>>();
+        assert_eq!(addrs(0), vec![0x10, 0x20]);
+        assert_eq!(addrs(1), vec![0x10]);
+        assert_eq!(g.succs(0), &[1]);
+        assert_eq!(g.succs(1), &[2]);
+        assert_eq!(g.succs(2), &[] as &[u32]);
+    }
+
+    #[test]
     fn reset_restores_counters() {
         let g = ReplayGraph::build(&[cap("a", vec![rw(0x10)]), cap("b", vec![rw(0x10)])], &[]);
         g.reset();
@@ -497,6 +623,57 @@ mod tests {
         g.publish(1, fake);
         assert_eq!(g.countdown(1), None);
         assert_eq!(g.countdown(1), Some(fake));
+    }
+
+    #[test]
+    fn reset_and_sweep_reset_agree() {
+        // The memcpy reset and the retained node-by-node sweep must
+        // leave identical counter/slot state.
+        let g = ReplayGraph::build(
+            &[
+                cap("a", vec![rw(0x10)]),
+                cap("b", vec![rw(0x10), rw(0x20)]),
+                cap("c", vec![rw(0x20)]),
+            ],
+            &[],
+        );
+        let fake = 0x2000 as *mut Task;
+        g.reset();
+        g.publish(0, fake);
+        let after_memcpy: Vec<u32> = (0..3)
+            .map(|i| g.pending[i].load(Ordering::Relaxed))
+            .collect();
+        g.reset_sweep();
+        let after_sweep: Vec<u32> = (0..3)
+            .map(|i| g.pending[i].load(Ordering::Relaxed))
+            .collect();
+        assert_eq!(after_memcpy, after_sweep);
+        assert!(
+            (0..3).all(|i| g.slots[i].load(Ordering::Relaxed).is_null()),
+            "sweep cleared the published slot"
+        );
+    }
+
+    #[test]
+    fn prefix_captured_references_frozen_arena() {
+        let g = Arc::new(ReplayGraph::build(
+            &[cap("a", vec![rw(0x10)]), cap("b", vec![rw(0x10), rd(0x20)])],
+            &[],
+        ));
+        let prefix = g.prefix_captured(2);
+        assert_eq!(prefix.len(), 2);
+        assert_eq!(prefix[1].decls.as_slice().len(), g.decls_of(1).len());
+        // The reconstructed prefix points into the arena — same address,
+        // not a copy.
+        assert_eq!(
+            prefix[1].decls.as_slice().as_ptr(),
+            g.decls_of(1).as_ptr(),
+            "frozen decls are referenced, not cloned"
+        );
+        // Re-freezing from the reconstructed prefix reproduces the shape.
+        let g2 = ReplayGraph::build(&prefix, &[]);
+        assert_eq!(g2.structural_hash(), g.structural_hash());
+        assert_eq!(g2.edge_pairs(), g.edge_pairs());
     }
 
     #[test]

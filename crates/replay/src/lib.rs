@@ -18,11 +18,14 @@
 //!    the Figure-1 `GraphEdge` machinery) records the successor/child
 //!    links the dependency system actually created. The recorded
 //!    iteration still executes through the full dependency system.
-//! 2. **Freezes** the graph into a [`ReplayGraph`]: immutable successor
-//!    lists, per-task atomic in-degree counters (reset in O(tasks)
-//!    between iterations), and reduction-chain groups that keep the
-//!    paper's concurrent-reduction semantics (private per-worker slots,
-//!    combined once when the last chain member finishes).
+//! 2. **Freezes** the graph into a [`ReplayGraph`]: compressed-sparse-row
+//!    arenas for successor lists, access declarations and reduction
+//!    memberships (built once, no per-node allocations survive
+//!    freezing), per-task atomic in-degree counters reset between
+//!    iterations by a single `memcpy` from a precomputed template, and
+//!    reduction-chain groups that keep the paper's concurrent-reduction
+//!    semantics (private per-worker slots, combined once when the last
+//!    chain member finishes).
 //! 3. **Replays** iterations `1..n`: task bodies are captured by simply
 //!    enumerating the user closure again, matched to graph nodes by
 //!    creation order, and spawned *held* (`TaskCtx::spawn_held`) —
@@ -108,9 +111,9 @@ mod recorder;
 
 pub use cache::GraphCache;
 pub use engine::{ReplayReport, RunIterative};
-pub use graph::{RedGroup, ReplayGraph, ReplayNode};
-pub use partition::Partitioning;
-pub use recorder::{CaptureMode, CapturedSpawn, GraphRecorder};
+pub use graph::{NodeMeta, RedGroup, ReplayGraph};
+pub use partition::{PartitionStats, Partitioning};
+pub use recorder::{CaptureMode, CapturedDecls, CapturedSpawn, GraphRecorder};
 
 // Re-exported for doc links and downstream convenience.
 pub use nanotask_core::{Runtime, SpawnCapture, TaskCtx};

@@ -92,21 +92,20 @@ fn serial(program: &[(Vec<Acc>, u64)], iters: usize) -> [u64; ADDRS] {
 fn expected_edges(program: &[(Vec<Acc>, u64)], base: SendPtr<u64>) -> Vec<(u32, u32)> {
     let captured: Vec<CapturedSpawn> = program
         .iter()
-        .map(|(accs, _)| CapturedSpawn {
-            label: "t",
-            priority: 0,
-            decls: accs
-                .iter()
-                .map(|acc| {
-                    nanotask::runtime_core::AccessDecl::new(
-                        unsafe { base.add(acc.addr_idx()).addr() },
-                        8,
-                        acc.mode(),
-                    )
-                })
-                .collect(),
-            body: None,
-            id: None,
+        .map(|(accs, _)| {
+            CapturedSpawn::bare(
+                "t",
+                0,
+                accs.iter()
+                    .map(|acc| {
+                        nanotask::runtime_core::AccessDecl::new(
+                            unsafe { base.add(acc.addr_idx()).addr() },
+                            8,
+                            acc.mode(),
+                        )
+                    })
+                    .collect(),
+            )
         })
         .collect();
     ReplayGraph::build(&captured, &[]).edge_pairs()

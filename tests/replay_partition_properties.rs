@@ -74,23 +74,22 @@ fn freeze(p: &Program) -> ReplayGraph {
     let base = 0x1000usize;
     let captured: Vec<CapturedSpawn> = p
         .iter()
-        .map(|(accs, _)| CapturedSpawn {
-            label: "t",
-            priority: 0,
-            decls: accs
-                .iter()
-                .map(|a| {
-                    let addr = base + 8 * a.addr_idx();
-                    let mode = match a {
-                        Acc::Read(_) => nanotask::runtime_core::AccessMode::Read,
-                        Acc::Write(_) => nanotask::runtime_core::AccessMode::Write,
-                        Acc::ReadWrite(_) => nanotask::runtime_core::AccessMode::ReadWrite,
-                    };
-                    nanotask::runtime_core::AccessDecl::new(addr, 8, mode)
-                })
-                .collect(),
-            body: None,
-            id: None,
+        .map(|(accs, _)| {
+            CapturedSpawn::bare(
+                "t",
+                0,
+                accs.iter()
+                    .map(|a| {
+                        let addr = base + 8 * a.addr_idx();
+                        let mode = match a {
+                            Acc::Read(_) => nanotask::runtime_core::AccessMode::Read,
+                            Acc::Write(_) => nanotask::runtime_core::AccessMode::Write,
+                            Acc::ReadWrite(_) => nanotask::runtime_core::AccessMode::ReadWrite,
+                        };
+                        nanotask::runtime_core::AccessDecl::new(addr, 8, mode)
+                    })
+                    .collect(),
+            )
         })
         .collect();
     ReplayGraph::build(&captured, &[])
@@ -210,7 +209,7 @@ proptest! {
                 let n = part.node_of(i);
                 prop_assert!(n < part.parts(), "assignment in range");
                 counts[n] += 1;
-                let w: u64 = g.nodes()[i].decls.iter().map(|d| d.len as u64).sum();
+                let w: u64 = g.decls_of(i).iter().map(|d| d.len as u64).sum();
                 weights[n] += w.max(1);
             }
             for n in 0..part.parts() {
