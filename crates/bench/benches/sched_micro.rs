@@ -11,7 +11,7 @@ fn throughput(c: &mut Criterion, name: &str, kind: SchedKind) {
     c.bench_function(format!("sched/{name}/prod1_cons3"), |b| {
         b.iter_custom(|iters| {
             let tasks = (iters as usize).max(1) * 100;
-            let sched = make_scheduler(kind, 4, 1, Policy::Fifo, 100, 0);
+            let sched = make_scheduler(kind, 4, 1, Policy::Fifo, 100, 0, None);
             let stop = Arc::new(AtomicBool::new(false));
             let consumers: Vec<_> = (1..4)
                 .map(|w| {

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 fn drive(kind: SchedKind, workers: usize, tasks: usize) -> f64 {
-    let sched = make_scheduler(kind, workers, 1, Policy::Fifo, 100, 0);
+    let sched = make_scheduler(kind, workers, 1, Policy::Fifo, 100, 0, None);
     let stop = Arc::new(AtomicBool::new(false));
     let consumers: Vec<_> = (1..workers)
         .map(|w| {

@@ -20,6 +20,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use nanotask_alloc::{AllocStats, AllocatorKind, RuntimeAllocator, make_allocator};
 use nanotask_locks::Backoff;
+use nanotask_obs::{
+    Counter, FlightFrame, FlightRecorder, Gauge, Histogram, MaxGauge, Registry, Snapshot,
+};
 use nanotask_trace::noise::{NoiseConfig, NoiseInjector};
 use nanotask_trace::{CoreRecorder, EventKind, Trace, Tracer};
 
@@ -194,6 +197,20 @@ pub struct RuntimeConfig {
     /// conformance suite and as the `fig16_replay_hotloop` baseline;
     /// leave off otherwise.
     pub replay_compat: bool,
+    /// Latency histograms (task execution time, ready-queue wait,
+    /// release-batch size): sampled clock reads on the hot path when on.
+    /// Plain counters are registry-backed and always on regardless —
+    /// this knob only gates the paths that need a timestamp.
+    pub metrics: bool,
+    /// Histogram sampling interval: one timed task per this many
+    /// (per worker), rounded up to a power of two so the hot-path
+    /// sample check is a mask instead of a division. 1 times every task.
+    pub metrics_sample: usize,
+    /// Flight-recorder snapshot interval in executed tasks (and replay
+    /// iterations); 0 disables the recorder.
+    pub flight_every: u64,
+    /// Snapshots the flight-recorder ring retains.
+    pub flight_capacity: usize,
     /// Name shown by benchmark harnesses.
     pub label: &'static str,
 }
@@ -228,6 +245,10 @@ impl RuntimeConfig {
             replay_recheck_every: 16,
             replay_partitioning: false,
             replay_compat: false,
+            metrics: false,
+            metrics_sample: 32,
+            flight_every: 0,
+            flight_capacity: 64,
             label: "optimized",
         }
     }
@@ -434,6 +455,29 @@ impl RuntimeConfig {
         self
     }
 
+    /// Toggle the latency histograms (see [`RuntimeConfig::metrics`];
+    /// off by default — counters stay on either way).
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Set the histogram sampling interval (min 1 = time every task;
+    /// rounded up to a power of two).
+    pub fn with_metrics_sample(mut self, n: usize) -> Self {
+        self.metrics_sample = n.max(1);
+        self
+    }
+
+    /// Enable the in-run flight recorder: snapshot the registry every
+    /// `every` executed tasks (or replay iterations), keeping the last
+    /// `capacity` snapshots. `every = 0` disables it.
+    pub fn with_flight_recorder(mut self, every: u64, capacity: usize) -> Self {
+        self.flight_every = every;
+        self.flight_capacity = capacity.max(1);
+        self
+    }
+
     /// Set the NUMA-node count from the environment/host
     /// ([`crate::platform::Topology::detect`]): `NANOTASK_NUMA_NODES`
     /// when set, a deterministic host-parallelism-based fallback
@@ -508,6 +552,72 @@ pub struct RuntimeStats {
     pub deps_deliveries: (u64, u64, u64),
 }
 
+/// Registry-backed runtime metrics: one handle per counter family, the
+/// same sharded single-writer discipline as the §5 tracer (each worker
+/// increments only its own cache-padded cell; readers aggregate).
+/// Counters and gauges are always live — they replace the old `Shared`
+/// atomics one for one. Histograms need a clock read, so they are gated
+/// by [`RuntimeConfig::metrics`] and sampled every
+/// [`RuntimeConfig::metrics_sample`] tasks per worker.
+pub(crate) struct Metrics {
+    pub registry: Registry,
+    /// Histogram/timestamp gate ([`RuntimeConfig::metrics`]).
+    pub enabled: bool,
+    /// Sampling mask for the timed paths: `metrics_sample` rounded up to
+    /// a power of two, minus one — `tick & mask == 0` selects samples
+    /// with an AND instead of a division on the per-task hot path.
+    pub sample_mask: u64,
+    pub tasks_created: Counter,
+    pub tasks_executed: Counter,
+    pub tasks_freed: Counter,
+    pub live_tasks: Gauge,
+    pub inline_runs: Counter,
+    pub max_inline_depth: MaxGauge,
+    pub inline_routed: Counter,
+    pub nested_spawns: Counter,
+    /// Task-body execution time (sampled).
+    pub task_exec_ns: Histogram,
+    /// Ready-queue wait: scheduler hand-off → body start (sampled).
+    pub queue_wait_ns: Histogram,
+    /// Ready-task release batch sizes (no clock; recorded when
+    /// `enabled`).
+    pub release_batch_tasks: Histogram,
+    pub flight: FlightRecorder,
+}
+
+impl Metrics {
+    fn new(cfg: &RuntimeConfig) -> Self {
+        let registry = Registry::with_base(
+            cfg.workers.max(1),
+            vec![
+                ("scheduler", format!("{:?}", cfg.sched)),
+                ("deps", format!("{:?}", cfg.deps)),
+            ],
+        );
+        Self {
+            enabled: cfg.metrics,
+            sample_mask: (cfg.metrics_sample.max(1) as u64).next_power_of_two() - 1,
+            tasks_created: registry.counter("nanotask_tasks_created_total"),
+            tasks_executed: registry.counter("nanotask_tasks_executed_total"),
+            tasks_freed: registry.counter("nanotask_tasks_freed_total"),
+            live_tasks: registry.gauge("nanotask_live_tasks"),
+            inline_runs: registry.counter("nanotask_inline_runs_total"),
+            max_inline_depth: registry.max_gauge("nanotask_max_inline_depth"),
+            inline_routed: registry.counter("nanotask_inline_routed_total"),
+            nested_spawns: registry.counter("nanotask_nested_spawns_total"),
+            task_exec_ns: registry.histogram("nanotask_task_exec_ns"),
+            queue_wait_ns: registry.histogram("nanotask_queue_wait_ns"),
+            release_batch_tasks: registry.histogram("nanotask_release_batch_tasks"),
+            flight: if cfg.flight_every > 0 {
+                FlightRecorder::new(cfg.flight_every, cfg.flight_capacity.max(1))
+            } else {
+                FlightRecorder::disabled()
+            },
+            registry,
+        }
+    }
+}
+
 pub(crate) struct Shared {
     pub cfg: RuntimeConfig,
     /// The realized worker→NUMA-node placement (contiguous blocks over
@@ -530,27 +640,14 @@ pub(crate) struct Shared {
     pub capture_generation: AtomicU64,
     pub next_id: AtomicU64,
     pub shutdown: AtomicBool,
-    pub tasks_created: AtomicU64,
-    pub tasks_executed: AtomicU64,
-    pub tasks_freed: AtomicU64,
-    pub live_tasks: AtomicUsize,
-    /// Tasks activated through the immediate-successor fast path (ran
-    /// inline on the releasing worker, never entered the scheduler).
-    pub inline_runs: AtomicU64,
-    /// Longest inline chain observed (≤ `cfg.inline_max_depth`).
-    pub max_inline_depth: AtomicU64,
-    /// Node-targeted (partition-routed) held-task releases that were
-    /// kept as the releasing worker's inline next task instead of
-    /// entering their node's queue ([`TaskCtx::release_held_inline_to`])
-    /// — the composition of dependence locality with partition locality.
-    pub inline_routed: AtomicU64,
-    /// Spawns issued by *non-root* tasks while a spawn capture is
-    /// installed (nested task domains). The replay engine reads deltas
-    /// of this around record iterations: a recorded iteration that
-    /// spawned nested children cannot be replayed safely (cross-sibling
-    /// dependencies of nested tasks are invisible to the frozen graph)
-    /// and is pinned to the dependency system instead.
-    pub nested_spawns: AtomicU64,
+    /// Registry-backed counters, gauges and histograms. The life-cycle
+    /// counters (created/executed/freed/live), the fast-path counters
+    /// (`inline_runs`, `max_inline_depth`, `inline_routed` — the
+    /// partition-routed releases kept inline by
+    /// [`TaskCtx::release_held_inline_to`]) and `nested_spawns` (the
+    /// nested-task-domain detector the replay engine reads deltas of)
+    /// all live here.
+    pub metrics: Metrics,
 }
 
 impl Shared {
@@ -558,9 +655,9 @@ impl Shared {
     ///
     /// # Safety
     /// Called exactly once per task, when its removal refs hit zero.
-    unsafe fn free_task(&self, t: *mut Task) {
-        self.tasks_freed.fetch_add(1, Ordering::Relaxed);
-        self.live_tasks.fetch_sub(1, Ordering::Relaxed);
+    unsafe fn free_task(&self, t: *mut Task, worker: usize) {
+        self.metrics.tasks_freed.inc(worker);
+        self.metrics.live_tasks.dec(worker);
         unsafe {
             let task = &mut *t;
             if !task.accesses.is_null() {
@@ -602,6 +699,11 @@ pub(crate) struct WorkerCtx {
     /// Reusable drain buffer `pending` is swapped into during hand-off,
     /// so the hot path never re-allocates per completion.
     scratch: RefCell<Vec<TaskPtr>>,
+    /// Metrics sampling cursors (thread-confined): enqueue-side for the
+    /// queue-wait stamp, execute-side for the body-time histogram. One
+    /// clock read per `metrics_sample` tasks each.
+    metrics_enq_tick: core::cell::Cell<u64>,
+    metrics_exec_tick: core::cell::Cell<u64>,
 }
 
 impl WorkerCtx {
@@ -615,11 +717,30 @@ impl WorkerCtx {
             inline_depth: core::cell::Cell::new(0),
             pending: RefCell::new(Vec::new()),
             scratch: RefCell::new(Vec::new()),
+            metrics_enq_tick: core::cell::Cell::new(0),
+            metrics_exec_tick: core::cell::Cell::new(0),
         }
     }
 
     fn record(&self, kind: EventKind, payload: u64) {
         self.recorder.borrow_mut().record(kind, payload);
+    }
+
+    /// Queue-wait sampling, producer side: every `metrics_sample`-th
+    /// release stamps its task with the tracer clock; the executing
+    /// worker reads the stamp back in `run_body`. One clock read per
+    /// sample interval, nothing at all with metrics off.
+    fn stamp_ready(&self, t: *mut Task) {
+        let m = &self.shared.metrics;
+        if !m.enabled {
+            return;
+        }
+        let tick = self.metrics_enq_tick.get().wrapping_add(1);
+        self.metrics_enq_tick.set(tick);
+        if tick & m.sample_mask == 0 {
+            // `max(1)`: 0 means "never stamped".
+            unsafe { (*t).ready_ns = self.shared.tracer.now().max(1) };
+        }
     }
 
     /// Hand `batch` to the scheduler: as one slice when batched release
@@ -631,6 +752,12 @@ impl WorkerCtx {
         }
         let mut rec = self.recorder.borrow_mut();
         if self.shared.cfg.batched_release {
+            if self.shared.metrics.enabled {
+                self.shared
+                    .metrics
+                    .release_batch_tasks
+                    .record(self.id, batch.len() as u64);
+            }
             self.shared
                 .sched
                 .add_ready_batch(batch, self.id, Some(&mut rec));
@@ -662,6 +789,7 @@ struct Hooks<'a> {
 
 unsafe impl DepHooks for Hooks<'_> {
     fn task_ready(&self, task: *mut Task) {
+        self.w.stamp_ready(task);
         if self.w.collecting.get() {
             // Fast path, completion window: collect instead of queueing.
             self.w.pending.borrow_mut().push(TaskPtr(task));
@@ -678,6 +806,7 @@ unsafe impl DepHooks for Hooks<'_> {
         if tasks.is_empty() {
             return;
         }
+        self.w.stamp_ready(tasks[0]);
         if self.w.collecting.get() {
             self.w
                 .pending
@@ -686,6 +815,13 @@ unsafe impl DepHooks for Hooks<'_> {
             return;
         }
         if self.w.shared.cfg.batched_release {
+            if self.w.shared.metrics.enabled {
+                self.w
+                    .shared
+                    .metrics
+                    .release_batch_tasks
+                    .record(self.w.id, tasks.len() as u64);
+            }
             // SAFETY: `TaskPtr` is `repr(transparent)` over `*mut Task`.
             let batch: &[TaskPtr] = unsafe {
                 core::slice::from_raw_parts(tasks.as_ptr() as *const TaskPtr, tasks.len())
@@ -704,7 +840,7 @@ unsafe impl DepHooks for Hooks<'_> {
     }
 
     fn task_free(&self, task: *mut Task) {
-        unsafe { self.w.shared.free_task(task) };
+        unsafe { self.w.shared.free_task(task, self.w.id) };
     }
 
     fn edge(&self, from: *mut Task, to: *mut Task, addr: usize, kind: u8) {
@@ -798,10 +934,7 @@ impl TaskCtx<'_> {
             if !unsafe { (*self.task).parent.is_null() } {
                 // Nested spawn under an installed capture: count it so
                 // the replay engine can detect nested task domains.
-                self.worker
-                    .shared
-                    .nested_spawns
-                    .fetch_add(1, Ordering::Relaxed);
+                self.worker.shared.metrics.nested_spawns.inc(self.worker.id);
             } else {
                 return self.spawn_captured(label, priority, deps, body);
             }
@@ -898,8 +1031,8 @@ impl TaskCtx<'_> {
         let shared = &self.worker.shared;
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
         self.worker.record(EventKind::CreateBegin, id);
-        shared.tasks_created.fetch_add(1, Ordering::Relaxed);
-        shared.live_tasks.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.tasks_created.inc(self.worker.id);
+        shared.metrics.live_tasks.inc(self.worker.id);
         let t = shared.alloc.alloc(Layout::new::<Task>()) as *mut Task;
         unsafe {
             let mut task = Task::new(id, label, self.task, self.worker.id as u32, body, decls);
@@ -949,7 +1082,7 @@ impl TaskCtx<'_> {
     /// capture was installed (nested task domains). The replay engine
     /// reads deltas of this around record iterations.
     pub fn nested_spawn_count(&self) -> u64 {
-        self.worker.shared.nested_spawns.load(Ordering::Relaxed)
+        self.worker.shared.metrics.nested_spawns.value()
     }
 
     /// Release a task created by [`TaskCtx::spawn_held`], handing it to
@@ -967,6 +1100,7 @@ impl TaskCtx<'_> {
         let t = h.0;
         if unsafe { (*t).unblock() } {
             let w = self.worker;
+            w.stamp_ready(t);
             if w.defer_held.get() || w.collecting.get() {
                 w.pending.borrow_mut().push(TaskPtr(t));
                 return;
@@ -1000,6 +1134,13 @@ impl TaskCtx<'_> {
             debug_assert!(became_ready, "held task released twice");
         }
         let w = self.worker;
+        w.stamp_ready(tasks[0].0);
+        if w.shared.metrics.enabled {
+            w.shared
+                .metrics
+                .release_batch_tasks
+                .record(w.id, tasks.len() as u64);
+        }
         // SAFETY: `HeldTask` and `TaskPtr` are both `repr(transparent)`
         // over `*mut Task`.
         let batch: &[TaskPtr] =
@@ -1043,7 +1184,7 @@ impl TaskCtx<'_> {
             return false;
         }
         self.release_held(h);
-        w.shared.inline_routed.fetch_add(1, Ordering::Relaxed);
+        w.shared.metrics.inline_routed.inc(w.id);
         true
     }
 
@@ -1097,8 +1238,8 @@ impl TaskCtx<'_> {
         let shared = &self.worker.shared;
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
         self.worker.record(EventKind::CreateBegin, id);
-        shared.tasks_created.fetch_add(1, Ordering::Relaxed);
-        shared.live_tasks.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.tasks_created.inc(self.worker.id);
+        shared.metrics.live_tasks.inc(self.worker.id);
 
         let t = shared.alloc.alloc(Layout::new::<Task>()) as *mut Task;
         unsafe {
@@ -1184,6 +1325,26 @@ impl TaskCtx<'_> {
 /// if one is attached ([`TaskCtx::spawn_held_with_epilogue`]).
 fn run_body(w: &WorkerCtx, t: *mut Task) {
     let id = unsafe { (*t).id };
+    let m = &w.shared.metrics;
+    // Sampled latency instrumentation: a queue-wait stamp left by the
+    // producer side, and the per-worker execute-side sampling cursor.
+    // Both histograms share one clock read when they fire together.
+    let mut exec_t0 = 0u64;
+    if m.enabled {
+        let ready_ns = unsafe { core::mem::replace(&mut (*t).ready_ns, 0) };
+        let tick = w.metrics_exec_tick.get().wrapping_add(1);
+        w.metrics_exec_tick.set(tick);
+        let sampled = tick & m.sample_mask == 0;
+        if ready_ns != 0 || sampled {
+            let now = w.shared.tracer.now();
+            if ready_ns != 0 {
+                m.queue_wait_ns.record(w.id, now.saturating_sub(ready_ns));
+            }
+            if sampled {
+                exec_t0 = now.max(1);
+            }
+        }
+    }
     w.record(EventKind::TaskStart, id);
     {
         let ctx = TaskCtx {
@@ -1200,7 +1361,12 @@ fn run_body(w: &WorkerCtx, t: *mut Task) {
         }
     }
     w.record(EventKind::TaskEnd, id);
-    w.shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    m.tasks_executed.inc(w.id);
+    if exec_t0 != 0 {
+        m.task_exec_ns
+            .record(w.id, w.shared.tracer.now().saturating_sub(exec_t0));
+    }
+    m.flight.tick(&m.registry);
 }
 
 /// Pick the task to keep as the worker's inline next task: the first one
@@ -1284,10 +1450,8 @@ fn execute_task(w: &WorkerCtx, t: *mut Task) {
         match next {
             Some(nt) => {
                 depth += 1;
-                shared.inline_runs.fetch_add(1, Ordering::Relaxed);
-                shared
-                    .max_inline_depth
-                    .fetch_max(depth as u64, Ordering::Relaxed);
+                shared.metrics.inline_runs.inc(w.id);
+                shared.metrics.max_inline_depth.record(w.id, depth as u64);
                 w.record(EventKind::InlineRun, unsafe { (*nt.0).id });
                 if let Some(noise) = &shared.noise {
                     let mut rec = w.recorder.borrow_mut();
@@ -1317,7 +1481,7 @@ fn finish_subtree(w: &WorkerCtx, t: *mut Task) {
             flag.store(true, Ordering::Release);
         }
         if (*t).drop_removal_ref() {
-            w.shared.free_task(t);
+            w.shared.free_task(t, w.id);
         }
         if !parent.is_null() && (*parent).drop_child_ref() {
             finish_subtree(w, parent);
@@ -1381,6 +1545,9 @@ impl Runtime {
             "at most {} workers",
             crate::sched::sync_sched::MAX_WORKERS
         );
+        // The registry exists before the scheduler so the scheduler's
+        // operation counters land in the same snapshot space.
+        let metrics = Metrics::new(&cfg);
         let sched = make_scheduler(
             cfg.sched,
             cfg.workers,
@@ -1388,6 +1555,7 @@ impl Runtime {
             cfg.policy,
             cfg.spsc_capacity,
             cfg.pop_cache,
+            Some(&metrics.registry),
         );
         let deps = make_deps(cfg.deps);
         let alloc = make_allocator(cfg.alloc, cfg.workers + 1);
@@ -1408,14 +1576,7 @@ impl Runtime {
             capture_generation: AtomicU64::new(0),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
-            tasks_created: AtomicU64::new(0),
-            tasks_executed: AtomicU64::new(0),
-            tasks_freed: AtomicU64::new(0),
-            live_tasks: AtomicUsize::new(0),
-            inline_runs: AtomicU64::new(0),
-            max_inline_depth: AtomicU64::new(0),
-            inline_routed: AtomicU64::new(0),
-            nested_spawns: AtomicU64::new(0),
+            metrics,
             cfg,
         });
         let threads = (1..shared.cfg.workers)
@@ -1440,8 +1601,8 @@ impl Runtime {
     pub fn run(&self, root: impl FnOnce(&TaskCtx) + Send + 'static) {
         let shared = &self.shared;
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
-        shared.tasks_created.fetch_add(1, Ordering::Relaxed);
-        shared.live_tasks.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.tasks_created.inc(0);
+        shared.metrics.live_tasks.inc(0);
         let t = shared.alloc.alloc(Layout::new::<Task>()) as *mut Task;
         let done = Arc::new(AtomicBool::new(false));
         unsafe {
@@ -1501,10 +1662,11 @@ impl Runtime {
         } else {
             (0, 0, 0)
         };
+        let m = &self.shared.metrics;
         RuntimeStats {
-            tasks_created: self.shared.tasks_created.load(Ordering::Relaxed),
-            tasks_executed: self.shared.tasks_executed.load(Ordering::Relaxed),
-            tasks_freed: self.shared.tasks_freed.load(Ordering::Relaxed),
+            tasks_created: m.tasks_created.value(),
+            tasks_executed: m.tasks_executed.value(),
+            tasks_freed: m.tasks_freed.value(),
             alloc: self.shared.alloc.stats(),
             deps_deliveries,
         }
@@ -1513,18 +1675,44 @@ impl Runtime {
     /// Aggregate counters plus scheduler-operation and fast-path
     /// counters — the machine-checkable evidence behind perf claims.
     pub fn run_report(&self) -> RunReport {
+        let m = &self.shared.metrics;
         let mut sched = self.shared.sched.op_stats();
         // Runtime-side counter folded into the scheduler snapshot: the
         // scheduler never sees an inline-kept routed release (that is
         // the point), so it cannot count them itself.
-        sched.inline_routed = self.shared.inline_routed.load(Ordering::Relaxed);
+        sched.inline_routed = m.inline_routed.value();
         RunReport {
             stats: self.stats(),
             sched,
             node_stats: self.shared.sched.node_stats(),
-            inline_runs: self.shared.inline_runs.load(Ordering::Relaxed),
-            max_inline_depth: self.shared.max_inline_depth.load(Ordering::Relaxed),
+            inline_runs: m.inline_runs.value(),
+            max_inline_depth: m.max_inline_depth.value(),
         }
+    }
+
+    /// The runtime's metrics registry: every counter family the runtime,
+    /// the scheduler and (when attached) the replay engine maintain.
+    /// Feed [`Runtime::metrics_snapshot`] to
+    /// `nanotask_obs::prometheus::render` for text exposition.
+    pub fn metrics_registry(&self) -> &Registry {
+        &self.shared.metrics.registry
+    }
+
+    /// One consistent read of every registered metric.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.shared.metrics.registry.snapshot()
+    }
+
+    /// Whether the sampled latency histograms are live
+    /// ([`RuntimeConfig::metrics`]).
+    pub fn metrics_enabled(&self) -> bool {
+        self.shared.metrics.enabled
+    }
+
+    /// Flight-recorder contents, oldest first (empty when
+    /// [`RuntimeConfig::flight_every`] is 0).
+    pub fn flight_frames(&self) -> Vec<FlightFrame> {
+        self.shared.metrics.flight.frames()
     }
 
     /// Collect the trace recorded so far (call between/after `run`s; only
@@ -1580,12 +1768,12 @@ impl Runtime {
     /// Number of task objects currently alive (diagnostics; 0 after all
     /// runs completed and chains were closed).
     pub fn live_tasks(&self) -> usize {
-        self.shared.live_tasks.load(Ordering::Relaxed)
+        self.shared.metrics.live_tasks.value() as usize
     }
 
     /// Cumulative nested-spawn count (see [`TaskCtx::nested_spawn_count`]).
     pub fn nested_spawn_count(&self) -> u64 {
-        self.shared.nested_spawns.load(Ordering::Relaxed)
+        self.shared.metrics.nested_spawns.value()
     }
 }
 

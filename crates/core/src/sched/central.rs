@@ -13,6 +13,7 @@
 
 use core::cell::UnsafeCell;
 use nanotask_locks::RawLock;
+use nanotask_obs::Registry;
 use nanotask_trace::EventKind;
 
 use super::{Policy, PolicyQueue, Rec, SchedCounters, SchedKind, SchedOpStats, Scheduler, TaskPtr};
@@ -30,23 +31,37 @@ unsafe impl<L: RawLock> Send for CentralScheduler<L> {}
 unsafe impl<L: RawLock> Sync for CentralScheduler<L> {}
 
 impl<L: RawLock> CentralScheduler<L> {
+    /// Counter shards when built standalone: the constructor does not
+    /// know the worker count, and out-of-range worker ids clamp to the
+    /// last shard anyway, so a fixed width only affects contention.
+    const DETACHED_SHARDS: usize = 16;
+
     /// Create an empty scheduler.
     pub fn new(policy: Policy, kind: SchedKind) -> Self {
         Self {
             lock: L::default(),
             queue: UnsafeCell::new(PolicyQueue::new(policy)),
             kind,
-            counters: SchedCounters::default(),
+            counters: SchedCounters::detached(Self::DETACHED_SHARDS, 0),
             len: core::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// Bind the operation counters to a shared metrics registry
+    /// (`None` keeps the private detached counters).
+    pub fn with_registry(mut self, reg: Option<&Registry>) -> Self {
+        if let Some(reg) = reg {
+            self.counters = SchedCounters::new(reg, 0);
+        }
+        self
     }
 }
 
 impl<L: RawLock> Scheduler for CentralScheduler<L> {
-    fn add_ready(&self, task: TaskPtr, _worker: usize, rec: Rec<'_>) {
-        self.counters.add();
+    fn add_ready(&self, task: TaskPtr, worker: usize, rec: Rec<'_>) {
+        self.counters.add(worker);
         self.lock.lock();
-        self.counters.lock();
+        self.counters.lock(worker);
         // SAFETY: queue accessed only under `lock`.
         unsafe { (*self.queue.get()).push(task) };
         self.lock.unlock();
@@ -62,11 +77,11 @@ impl<L: RawLock> Scheduler for CentralScheduler<L> {
             [t] => return self.add_ready(*t, worker, rec),
             _ => {}
         }
-        self.counters.batch(tasks.len());
+        self.counters.batch(worker, tasks.len());
         // One lock acquisition covers the whole released batch — the
         // amortization the "w/o DTLock" ablation gets from batching.
         self.lock.lock();
-        self.counters.lock();
+        self.counters.lock(worker);
         // SAFETY: queue accessed only under `lock`.
         let q = unsafe { &mut *self.queue.get() };
         for &t in tasks {
@@ -80,16 +95,16 @@ impl<L: RawLock> Scheduler for CentralScheduler<L> {
         }
     }
 
-    fn add_ready_batch_to(&self, node: usize, tasks: &[TaskPtr], _worker: usize, rec: Rec<'_>) {
+    fn add_ready_batch_to(&self, node: usize, tasks: &[TaskPtr], worker: usize, rec: Rec<'_>) {
         if tasks.is_empty() {
             return;
         }
         // One queue, no per-node structure: the node target is advisory.
         // The batch still amortizes the lock, and the targeted counters
         // keep the replay partitioner's routing observable.
-        self.counters.targeted(tasks.len());
+        self.counters.targeted(worker, tasks.len());
         self.lock.lock();
-        self.counters.lock();
+        self.counters.lock(worker);
         // SAFETY: queue accessed only under `lock`.
         let q = unsafe { &mut *self.queue.get() };
         for &t in tasks {
@@ -106,15 +121,15 @@ impl<L: RawLock> Scheduler for CentralScheduler<L> {
         }
     }
 
-    fn get_ready(&self, _worker: usize, _rec: Rec<'_>) -> Option<TaskPtr> {
+    fn get_ready(&self, worker: usize, _rec: Rec<'_>) -> Option<TaskPtr> {
         self.lock.lock();
-        self.counters.lock();
+        self.counters.lock(worker);
         // SAFETY: queue accessed only under `lock`.
         let t = unsafe { (*self.queue.get()).pop() };
         self.lock.unlock();
         if t.is_some() {
             self.len.fetch_sub(1, core::sync::atomic::Ordering::Relaxed);
-            self.counters.pop();
+            self.counters.pop(worker);
         }
         t
     }

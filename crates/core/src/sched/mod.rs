@@ -21,7 +21,7 @@ pub mod central;
 pub mod sync_sched;
 pub mod worksteal;
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use nanotask_obs::{Counter, Registry};
 use nanotask_trace::CoreRecorder;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
@@ -82,60 +82,122 @@ pub struct NodeOpStats {
     pub home_tasks: u64,
 }
 
-/// Internal atomic counters behind [`SchedOpStats`]. All updates are
-/// `Relaxed` single fetch-adds; the snapshot is advisory (diagnostics and
-/// benchmark reporting, never control flow).
-#[derive(Debug, Default)]
+/// Registry-backed counters behind [`SchedOpStats`] and [`NodeOpStats`].
+/// Every update is a plain load+store on the calling worker's shard of a
+/// [`nanotask_obs::Counter`] (the §5 tracer discipline applied to
+/// metrics); the snapshot aggregates shards and is advisory (diagnostics
+/// and benchmark reporting, never control flow). Schedulers built
+/// through [`make_scheduler`] with a registry share it with the runtime,
+/// so `Runtime::run_report` *is* a registry snapshot; schedulers built
+/// standalone get [`SchedCounters::detached`] over a private registry.
+#[derive(Clone)]
 pub(crate) struct SchedCounters {
-    adds: AtomicU64,
-    batch_adds: AtomicU64,
-    batch_tasks: AtomicU64,
-    pops: AtomicU64,
-    pop_cache_hits: AtomicU64,
-    lock_acquisitions: AtomicU64,
-    targeted_batch_adds: AtomicU64,
-    targeted_tasks: AtomicU64,
+    adds: Counter,
+    batch_adds: Counter,
+    batch_tasks: Counter,
+    pops: Counter,
+    pop_cache_hits: Counter,
+    lock_acquisitions: Counter,
+    targeted_batch_adds: Counter,
+    targeted_tasks: Counter,
+    node_targeted: Arc<[Counter]>,
+    node_home: Arc<[Counter]>,
 }
 
 impl SchedCounters {
+    /// Counters registered in `reg`, with one labeled per-node counter
+    /// pair per NUMA node (`nodes == 0` for schedulers without per-node
+    /// structures).
+    pub(crate) fn new(reg: &Registry, nodes: usize) -> Self {
+        let node_counter = |name: &'static str, node: usize| {
+            reg.counter_with(name, vec![("node", node.to_string())])
+        };
+        Self {
+            adds: reg.counter("nanotask_sched_adds_total"),
+            batch_adds: reg.counter("nanotask_sched_batch_adds_total"),
+            batch_tasks: reg.counter("nanotask_sched_batch_tasks_total"),
+            pops: reg.counter("nanotask_sched_pops_total"),
+            pop_cache_hits: reg.counter("nanotask_sched_pop_cache_hits_total"),
+            lock_acquisitions: reg.counter("nanotask_sched_lock_acquisitions_total"),
+            targeted_batch_adds: reg.counter("nanotask_sched_targeted_batch_adds_total"),
+            targeted_tasks: reg.counter("nanotask_sched_targeted_tasks_total"),
+            node_targeted: (0..nodes)
+                .map(|n| node_counter("nanotask_node_targeted_tasks_total", n))
+                .collect(),
+            node_home: (0..nodes)
+                .map(|n| node_counter("nanotask_node_home_tasks_total", n))
+                .collect(),
+        }
+    }
+
+    /// Counters over a private registry, for schedulers constructed
+    /// outside a runtime (unit tests, microbenchmarks).
+    pub(crate) fn detached(shards: usize, nodes: usize) -> Self {
+        Self::new(&Registry::new(shards), nodes)
+    }
+
     #[inline]
-    pub(crate) fn add(&self) {
-        self.adds.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn add(&self, worker: usize) {
+        self.adds.inc(worker);
     }
     #[inline]
-    pub(crate) fn batch(&self, n: usize) {
-        self.batch_adds.fetch_add(1, Ordering::Relaxed);
-        self.batch_tasks.fetch_add(n as u64, Ordering::Relaxed);
+    pub(crate) fn batch(&self, worker: usize, n: usize) {
+        self.batch_adds.inc(worker);
+        self.batch_tasks.add(worker, n as u64);
     }
     #[inline]
-    pub(crate) fn pop(&self) {
-        self.pops.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn pop(&self, worker: usize) {
+        self.pops.inc(worker);
     }
     #[inline]
-    pub(crate) fn cache_hit(&self) {
-        self.pop_cache_hits.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn cache_hit(&self, worker: usize) {
+        self.pop_cache_hits.inc(worker);
     }
     #[inline]
-    pub(crate) fn lock(&self) {
-        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn lock(&self, worker: usize) {
+        self.lock_acquisitions.inc(worker);
     }
     #[inline]
-    pub(crate) fn targeted(&self, n: usize) {
-        self.targeted_batch_adds.fetch_add(1, Ordering::Relaxed);
-        self.targeted_tasks.fetch_add(n as u64, Ordering::Relaxed);
+    pub(crate) fn targeted(&self, worker: usize, n: usize) {
+        self.targeted_batch_adds.inc(worker);
+        self.targeted_tasks.add(worker, n as u64);
     }
+    #[inline]
+    pub(crate) fn node_home(&self, worker: usize, node: usize, n: u64) {
+        if let Some(c) = self.node_home.get(node) {
+            c.add(worker, n);
+        }
+    }
+    #[inline]
+    pub(crate) fn node_targeted(&self, worker: usize, node: usize, n: u64) {
+        if let Some(c) = self.node_targeted.get(node) {
+            c.add(worker, n);
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> SchedOpStats {
         SchedOpStats {
-            adds: self.adds.load(Ordering::Relaxed),
-            batch_adds: self.batch_adds.load(Ordering::Relaxed),
-            batch_tasks: self.batch_tasks.load(Ordering::Relaxed),
-            pops: self.pops.load(Ordering::Relaxed),
-            pop_cache_hits: self.pop_cache_hits.load(Ordering::Relaxed),
-            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
-            targeted_batch_adds: self.targeted_batch_adds.load(Ordering::Relaxed),
-            targeted_tasks: self.targeted_tasks.load(Ordering::Relaxed),
+            adds: self.adds.value(),
+            batch_adds: self.batch_adds.value(),
+            batch_tasks: self.batch_tasks.value(),
+            pops: self.pops.value(),
+            pop_cache_hits: self.pop_cache_hits.value(),
+            lock_acquisitions: self.lock_acquisitions.value(),
+            targeted_batch_adds: self.targeted_batch_adds.value(),
+            targeted_tasks: self.targeted_tasks.value(),
             inline_routed: 0,
         }
+    }
+
+    pub(crate) fn node_snapshot(&self) -> Vec<NodeOpStats> {
+        self.node_targeted
+            .iter()
+            .zip(self.node_home.iter())
+            .map(|(t, h)| NodeOpStats {
+                targeted_tasks: t.value(),
+                home_tasks: h.value(),
+            })
+            .collect()
     }
 }
 
@@ -361,6 +423,10 @@ pub trait Scheduler: Send + Sync {
 /// buffer (Listing 5 uses 100), and `pop_cache` enables the delegation
 /// scheduler's per-worker pop cache (0 = disabled; part of the
 /// zero-queue fast path, see [`crate::RuntimeConfig::fast_path`]).
+/// `registry` binds the scheduler's operation counters to a shared
+/// metrics registry (the runtime passes its own, so scheduler activity
+/// shows up live in snapshots and the Prometheus export); `None` keeps
+/// them on a private detached registry.
 pub fn make_scheduler(
     kind: SchedKind,
     workers: usize,
@@ -368,35 +434,38 @@ pub fn make_scheduler(
     policy: Policy,
     spsc_capacity: usize,
     pop_cache: usize,
+    registry: Option<&Registry>,
 ) -> Arc<dyn Scheduler> {
     use nanotask_locks::{McsLock, PtLock, SpinLock, TicketLock, TwaLock};
     match kind {
         SchedKind::Delegation => Arc::new(
             sync_sched::SyncScheduler::new(workers, numa_nodes, policy, spsc_capacity)
-                .with_pop_cache(pop_cache),
+                .with_pop_cache(pop_cache)
+                .with_registry(registry),
         ),
         SchedKind::DelegationFlat => Arc::new(
             sync_sched::SyncScheduler::new_flat(workers, numa_nodes, policy, spsc_capacity)
-                .with_pop_cache(pop_cache),
+                .with_pop_cache(pop_cache)
+                .with_registry(registry),
         ),
-        SchedKind::Central(LockKind::PtLock) => {
-            Arc::new(central::CentralScheduler::<PtLock<64>>::new(policy, kind))
-        }
-        SchedKind::Central(LockKind::Ticket) => {
-            Arc::new(central::CentralScheduler::<TicketLock>::new(policy, kind))
-        }
-        SchedKind::Central(LockKind::Mcs) => {
-            Arc::new(central::CentralScheduler::<McsLock>::new(policy, kind))
-        }
-        SchedKind::Central(LockKind::Twa) => {
-            Arc::new(central::CentralScheduler::<TwaLock>::new(policy, kind))
-        }
-        SchedKind::Central(LockKind::Spin) => {
-            Arc::new(central::CentralScheduler::<SpinLock>::new(policy, kind))
-        }
-        SchedKind::WorkSteal(v) => {
-            Arc::new(worksteal::WorkStealScheduler::new(workers, numa_nodes, v))
-        }
+        SchedKind::Central(LockKind::PtLock) => Arc::new(
+            central::CentralScheduler::<PtLock<64>>::new(policy, kind).with_registry(registry),
+        ),
+        SchedKind::Central(LockKind::Ticket) => Arc::new(
+            central::CentralScheduler::<TicketLock>::new(policy, kind).with_registry(registry),
+        ),
+        SchedKind::Central(LockKind::Mcs) => Arc::new(
+            central::CentralScheduler::<McsLock>::new(policy, kind).with_registry(registry),
+        ),
+        SchedKind::Central(LockKind::Twa) => Arc::new(
+            central::CentralScheduler::<TwaLock>::new(policy, kind).with_registry(registry),
+        ),
+        SchedKind::Central(LockKind::Spin) => Arc::new(
+            central::CentralScheduler::<SpinLock>::new(policy, kind).with_registry(registry),
+        ),
+        SchedKind::WorkSteal(v) => Arc::new(
+            worksteal::WorkStealScheduler::new(workers, numa_nodes, v).with_registry(registry),
+        ),
     }
 }
 
@@ -493,7 +562,7 @@ mod tests {
             SchedKind::WorkSteal(WsVariant::LifoLocal),
             SchedKind::WorkSteal(WsVariant::FifoLocal),
         ] {
-            let s = make_scheduler(kind, 4, 2, Policy::Fifo, 64, 0);
+            let s = make_scheduler(kind, 4, 2, Policy::Fifo, 64, 0, None);
             assert_eq!(s.kind(), kind);
             assert_eq!(s.approx_len(), 0);
         }
@@ -507,7 +576,7 @@ mod tests {
             SchedKind::Central(LockKind::PtLock),
             SchedKind::WorkSteal(WsVariant::LifoLocal),
         ] {
-            let s = make_scheduler(kind, 2, 1, Policy::Fifo, 8, 0);
+            let s = make_scheduler(kind, 2, 1, Policy::Fifo, 8, 0, None);
             s.add_ready(fake(0x1000), 0, None);
             s.add_ready(fake(0x2000), 1, None);
             let mut got = vec![];

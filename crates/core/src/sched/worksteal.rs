@@ -16,6 +16,7 @@
 
 use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use nanotask_locks::CachePadded;
+use nanotask_obs::Registry;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 
@@ -36,8 +37,6 @@ pub struct WorkStealScheduler {
     /// Workers of each node, precomputed so the targeted hot path never
     /// allocates.
     node_members: Box<[Box<[usize]>]>,
-    /// Per-node insertion counters (targeted vs producer-home).
-    node_counts: Box<[CachePadded<(AtomicU64, AtomicU64)>]>,
     variant: WsVariant,
     counters: SchedCounters,
     len: AtomicUsize,
@@ -65,13 +64,19 @@ impl WorkStealScheduler {
                 .map(|_| CachePadded::new(AtomicUsize::new(0)))
                 .collect(),
             node_members,
-            node_counts: (0..nodes)
-                .map(|_| CachePadded::new((AtomicU64::new(0), AtomicU64::new(0))))
-                .collect(),
             variant,
-            counters: SchedCounters::default(),
+            counters: SchedCounters::detached(n, nodes),
             len: AtomicUsize::new(0),
         }
+    }
+
+    /// Bind the operation counters to a shared metrics registry
+    /// (`None` keeps the private detached counters).
+    pub fn with_registry(mut self, reg: Option<&Registry>) -> Self {
+        if let Some(reg) = reg {
+            self.counters = SchedCounters::new(reg, self.topo.nodes());
+        }
+        self
     }
 
     /// xorshift step on the worker's private seed.
@@ -119,14 +124,12 @@ impl Scheduler for WorkStealScheduler {
         if let Some(r) = rec {
             r.record(nanotask_trace::EventKind::AddReady, unsafe { (*task.0).id });
         }
-        self.counters.add();
+        self.counters.add(worker);
         self.len.fetch_add(1, Ordering::Relaxed);
         let w = worker % self.deques.len();
-        self.node_counts[self.topo.node_of(w)]
-            .1
-            .fetch_add(1, Ordering::Relaxed);
+        self.counters.node_home(worker, self.topo.node_of(w), 1);
         let mut dq = self.deques[w].lock();
-        self.counters.lock();
+        self.counters.lock(worker);
         dq.push_back(task);
     }
 
@@ -139,19 +142,18 @@ impl Scheduler for WorkStealScheduler {
         if let Some(r) = rec {
             r.record(nanotask_trace::EventKind::ReadyBatch, tasks.len() as u64);
         }
-        self.counters.batch(tasks.len());
+        self.counters.batch(worker, tasks.len());
         self.len.fetch_add(tasks.len(), Ordering::Relaxed);
         let w = worker % self.deques.len();
-        self.node_counts[self.topo.node_of(w)]
-            .1
-            .fetch_add(tasks.len() as u64, Ordering::Relaxed);
+        self.counters
+            .node_home(worker, self.topo.node_of(w), tasks.len() as u64);
         // One deque-lock acquisition pushes the whole released batch.
         let mut dq = self.deques[w].lock();
-        self.counters.lock();
+        self.counters.lock(worker);
         dq.extend(tasks.iter().copied());
     }
 
-    fn add_ready_batch_to(&self, node: usize, tasks: &[TaskPtr], _worker: usize, rec: Rec<'_>) {
+    fn add_ready_batch_to(&self, node: usize, tasks: &[TaskPtr], worker: usize, rec: Rec<'_>) {
         if tasks.is_empty() {
             return;
         }
@@ -161,19 +163,18 @@ impl Scheduler for WorkStealScheduler {
                 ((node as u64) << 32) | tasks.len() as u64,
             );
         }
-        self.counters.targeted(tasks.len());
+        self.counters.targeted(worker, tasks.len());
         self.len.fetch_add(tasks.len(), Ordering::Relaxed);
         // A deque of a worker on the target node, round-robin within the
         // node so one hot partition does not pile onto a single deque.
         let node = node.min(self.topo.nodes() - 1);
-        self.node_counts[node]
-            .0
-            .fetch_add(tasks.len() as u64, Ordering::Relaxed);
+        self.counters
+            .node_targeted(worker, node, tasks.len() as u64);
         let members = &self.node_members[node];
         let k = self.rr[node].fetch_add(1, Ordering::Relaxed) % members.len().max(1);
         let target = members.get(k).copied().unwrap_or(0);
         let mut dq = self.deques[target].lock();
-        self.counters.lock();
+        self.counters.lock(worker);
         dq.extend(tasks.iter().copied());
     }
 
@@ -182,7 +183,7 @@ impl Scheduler for WorkStealScheduler {
         let t = self.pop_local(w).or_else(|| self.steal(w));
         if t.is_some() {
             self.len.fetch_sub(1, Ordering::Relaxed);
-            self.counters.pop();
+            self.counters.pop(worker);
         }
         t
     }
@@ -200,13 +201,7 @@ impl Scheduler for WorkStealScheduler {
     }
 
     fn node_stats(&self) -> Vec<NodeOpStats> {
-        self.node_counts
-            .iter()
-            .map(|c| NodeOpStats {
-                targeted_tasks: c.0.load(Ordering::Relaxed),
-                home_tasks: c.1.load(Ordering::Relaxed),
-            })
-            .collect()
+        self.counters.node_snapshot()
     }
 }
 

@@ -96,6 +96,10 @@ pub struct Task {
     /// engine's steady-state seam: one shared `Arc` per iteration
     /// replaces a boxed wrapper closure per task. None everywhere else.
     pub epilogue: Option<(std::sync::Arc<dyn crate::runtime::TaskEpilogue>, u64)>,
+    /// Metrics: tracer-epoch timestamp of the (sampled) moment this task
+    /// was handed to the scheduler — 0 when never stamped. Read and
+    /// reset by the executing worker to measure ready-queue wait.
+    pub ready_ns: u64,
 }
 
 unsafe impl Send for Task {}
@@ -135,6 +139,7 @@ impl Task {
             priority: 0,
             registered: true,
             epilogue: None,
+            ready_ns: 0,
         }
     }
 

@@ -1,0 +1,139 @@
+//! In-run flight recorder: a bounded ring of recent registry snapshots.
+//!
+//! A post-run report collapses the whole execution into one total; the
+//! flight recorder keeps the last N [`Snapshot`]s taken every `every`
+//! ticks (a tick is whatever the caller makes it — the runtime ticks
+//! once per executed task, the replay engine once per iteration), so an
+//! anomaly like a divergence storm or a giveup spiral shows up as a
+//! *delta between adjacent frames* and can be localized to a window.
+
+use crate::registry::{Registry, Snapshot};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One recorded frame: which tick triggered it, and the snapshot.
+#[derive(Clone, Debug)]
+pub struct FlightFrame {
+    /// Tick count at capture time (1-based).
+    pub tick: u64,
+    /// Registry state at capture time.
+    pub snapshot: Snapshot,
+}
+
+struct FlightInner {
+    every: u64,
+    capacity: usize,
+    ticks: AtomicU64,
+    ring: Mutex<VecDeque<FlightFrame>>,
+}
+
+/// Periodic snapshot ring. Cloning shares the ring. A recorder built
+/// with `every == 0` is disabled: [`FlightRecorder::tick`] is one
+/// branch and no snapshot is ever taken.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// Record a snapshot every `every` ticks, keeping the last
+    /// `capacity` frames. `every == 0` disables recording.
+    pub fn new(every: u64, capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(FlightInner {
+                every,
+                capacity: capacity.max(1),
+                ticks: AtomicU64::new(0),
+                ring: Mutex::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// A recorder that never records.
+    pub fn disabled() -> Self {
+        Self::new(0, 1)
+    }
+
+    /// Whether ticks can ever produce frames.
+    pub fn enabled(&self) -> bool {
+        self.inner.every != 0
+    }
+
+    /// Count one tick; snapshots `registry` into the ring when the tick
+    /// count crosses the interval.
+    pub fn tick(&self, registry: &Registry) {
+        if self.inner.every == 0 {
+            return;
+        }
+        let t = self.inner.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        if !t.is_multiple_of(self.inner.every) {
+            return;
+        }
+        let frame = FlightFrame {
+            tick: t,
+            snapshot: registry.snapshot(),
+        };
+        let mut ring = self.inner.ring.lock();
+        if ring.len() == self.inner.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(frame);
+    }
+
+    /// Total ticks counted so far.
+    pub fn ticks(&self) -> u64 {
+        self.inner.ticks.load(Ordering::Relaxed)
+    }
+
+    /// The recorded frames, oldest first.
+    pub fn frames(&self) -> Vec<FlightFrame> {
+        self.inner.ring.lock().iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_every_interval_and_bounds_ring() {
+        let reg = Registry::new(1);
+        let c = reg.counter("nanotask_iters_total");
+        let fr = FlightRecorder::new(2, 3);
+        assert!(fr.enabled());
+        for i in 0..10 {
+            c.add(0, 1);
+            fr.tick(&reg);
+            let _ = i;
+        }
+        assert_eq!(fr.ticks(), 10);
+        let frames = fr.frames();
+        // Ticks 2,4,6,8,10 fired; capacity 3 keeps the last three.
+        assert_eq!(frames.len(), 3);
+        assert_eq!(
+            frames.iter().map(|f| f.tick).collect::<Vec<_>>(),
+            vec![6, 8, 10]
+        );
+        // Frames capture monotone counter progress: deltas localize
+        // anomalies to a tick window.
+        let values: Vec<u64> = frames
+            .iter()
+            .map(|f| f.snapshot.counter("nanotask_iters_total").unwrap())
+            .collect();
+        assert_eq!(values, vec![6, 8, 10]);
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let reg = Registry::new(1);
+        let fr = FlightRecorder::disabled();
+        assert!(!fr.enabled());
+        for _ in 0..5 {
+            fr.tick(&reg);
+        }
+        assert!(fr.frames().is_empty());
+        assert_eq!(fr.ticks(), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Chrome/Perfetto `trace.json` export of a CTF-lite [`Trace`].
+//!
+//! Emits the Trace Event Format (the JSON flavour both `chrome://tracing`
+//! and `https://ui.perfetto.dev` open directly): one track (`tid`) per
+//! core, complete `"X"` spans reconstructed from `TaskStart`/`TaskEnd`
+//! and `ReplayIterBegin`/`ReplayIterEnd` (plus the record-phase
+//! `ReplayRecordBegin`/`End`), and instant `"i"` events for replay cache
+//! hits and giveups. Timestamps are microseconds with nanosecond
+//! fractions, relative to the tracer epoch.
+//!
+//! Span matching is per-core and tolerant: an `End` without a matching
+//! `Begin` is dropped, an unclosed `Begin` never emits. Taskwait makes
+//! task spans nest on one core (a task body can run other tasks inside
+//! its taskwait), so `TaskEnd` closes the *innermost* start with the
+//! same task id.
+
+use nanotask_trace::{EventKind, Trace};
+
+/// `ns` as a Trace-Event-Format microsecond timestamp string.
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+struct EventWriter {
+    out: String,
+    first: bool,
+}
+
+impl EventWriter {
+    fn new() -> Self {
+        Self {
+            out: String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+            first: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+    }
+
+    fn meta_thread_name(&mut self, tid: u16, name: &str) {
+        self.sep();
+        self.out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\""
+        ));
+        push_escaped(&mut self.out, name);
+        self.out.push_str("\"}}");
+    }
+
+    fn complete(&mut self, tid: u16, name: &str, cat: &str, start_ns: u64, end_ns: u64, id: u64) {
+        self.sep();
+        self.out.push_str(&format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"dur\":{},\"cat\":\"{cat}\",\"name\":\"",
+            ts_us(start_ns),
+            ts_us(end_ns.saturating_sub(start_ns)),
+        ));
+        push_escaped(&mut self.out, name);
+        self.out.push_str(&format!("\",\"args\":{{\"id\":{id}}}}}"));
+    }
+
+    fn instant(&mut self, tid: u16, name: &str, cat: &str, ns: u64, payload: u64) {
+        self.sep();
+        self.out.push_str(&format!(
+            "{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"s\":\"t\",\"cat\":\"{cat}\",\"name\":\"",
+            ts_us(ns),
+        ));
+        push_escaped(&mut self.out, name);
+        self.out
+            .push_str(&format!("\",\"args\":{{\"payload\":{payload}}}}}"));
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("]}");
+        self.out
+    }
+}
+
+/// Convert a trace into a Chrome/Perfetto Trace-Event-Format JSON string.
+pub fn trace_json(trace: &Trace) -> String {
+    let mut w = EventWriter::new();
+    let ncores = (trace.ncores() as usize).max(
+        trace
+            .events()
+            .iter()
+            .map(|e| e.core as usize + 1)
+            .max()
+            .unwrap_or(0),
+    );
+    for core in 0..ncores {
+        w.meta_thread_name(core as u16, &format!("core {core}"));
+    }
+
+    // Per-core open-span stacks: (task id, start ns).
+    let mut tasks: Vec<Vec<(u64, u64)>> = vec![Vec::new(); ncores];
+    let mut replay: Vec<Vec<(EventKind, u64, u64)>> = vec![Vec::new(); ncores];
+    for e in trace.events() {
+        let core = e.core as usize;
+        if core >= ncores {
+            continue;
+        }
+        match e.kind {
+            EventKind::TaskStart => tasks[core].push((e.payload, e.ns)),
+            EventKind::TaskEnd => {
+                // Innermost start with this id (taskwait nests spans).
+                if let Some(i) = tasks[core].iter().rposition(|&(id, _)| id == e.payload) {
+                    let (id, start) = tasks[core].remove(i);
+                    w.complete(e.core, &format!("task {id}"), "task", start, e.ns, id);
+                }
+            }
+            EventKind::ReplayIterBegin | EventKind::ReplayRecordBegin => {
+                replay[core].push((e.kind, e.payload, e.ns));
+            }
+            EventKind::ReplayIterEnd | EventKind::ReplayRecordEnd => {
+                let open = match e.kind {
+                    EventKind::ReplayIterEnd => EventKind::ReplayIterBegin,
+                    _ => EventKind::ReplayRecordBegin,
+                };
+                if let Some(i) = replay[core].iter().rposition(|&(k, _, _)| k == open) {
+                    let (_, payload, start) = replay[core].remove(i);
+                    let (name, cat) = if open == EventKind::ReplayIterBegin {
+                        (format!("replay iter {payload}"), "replay")
+                    } else {
+                        (format!("record iter {payload}"), "replay")
+                    };
+                    w.complete(e.core, &name, cat, start, e.ns, payload);
+                }
+            }
+            EventKind::ReplayCacheHit => {
+                w.instant(e.core, "replay cache hit", "replay", e.ns, e.payload);
+            }
+            EventKind::ReplayGiveUp => {
+                w.instant(e.core, "replay giveup", "replay", e.ns, e.payload);
+            }
+            _ => {}
+        }
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanotask_trace::Event;
+
+    fn ev(ns: u64, payload: u64, core: u16, kind: EventKind) -> Event {
+        Event {
+            ns,
+            payload,
+            core,
+            kind,
+        }
+    }
+
+    #[test]
+    fn exports_spans_and_instants() {
+        let t = Trace::from_events(
+            2,
+            vec![
+                ev(1000, 7, 0, EventKind::TaskStart),
+                ev(3500, 7, 0, EventKind::TaskEnd),
+                ev(2000, 9, 1, EventKind::TaskStart),
+                ev(2600, 9, 1, EventKind::TaskEnd),
+                ev(100, 0, 0, EventKind::ReplayIterBegin),
+                ev(5000, 0, 0, EventKind::ReplayIterEnd),
+                ev(4000, 3, 1, EventKind::ReplayCacheHit),
+                ev(4100, 4, 1, EventKind::ReplayGiveUp),
+            ],
+        );
+        let json = trace_json(&t);
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"name\":\"task 7\""));
+        assert!(json.contains("\"ts\":1.000,\"dur\":2.500"));
+        assert!(json.contains("\"name\":\"replay iter 0\""));
+        assert!(json.contains("\"name\":\"replay cache hit\""));
+        assert!(json.contains("\"name\":\"replay giveup\""));
+        // Two task spans, one replay span.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 2);
+    }
+
+    #[test]
+    fn nested_same_core_tasks_close_innermost_first() {
+        // Outer task 1 runs task 2 inside its taskwait on the same core.
+        let t = Trace::from_events(
+            1,
+            vec![
+                ev(10, 1, 0, EventKind::TaskStart),
+                ev(20, 2, 0, EventKind::TaskStart),
+                ev(30, 2, 0, EventKind::TaskEnd),
+                ev(40, 1, 0, EventKind::TaskEnd),
+            ],
+        );
+        let json = trace_json(&t);
+        assert!(json.contains("\"ts\":0.020,\"dur\":0.010")); // task 2
+        assert!(json.contains("\"ts\":0.010,\"dur\":0.030")); // task 1
+    }
+
+    #[test]
+    fn unmatched_events_are_dropped_not_panicked() {
+        let t = Trace::from_events(
+            1,
+            vec![
+                ev(10, 1, 0, EventKind::TaskEnd),   // end without start
+                ev(20, 2, 0, EventKind::TaskStart), // start without end
+                ev(30, 0, 0, EventKind::ReplayIterEnd),
+            ],
+        );
+        let json = trace_json(&t);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 0);
+    }
+
+    #[test]
+    fn empty_trace_is_valid_container() {
+        let json = trace_json(&Trace::from_events(0, vec![]));
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.ends_with("]}"));
+    }
+}

@@ -25,6 +25,7 @@ use nanotask_core::deps::reduction::ReductionInfo;
 use nanotask_core::{
     Deps, HeldTask, Runtime, SpawnCapture, TaskBody, TaskCtx, TaskEpilogue, TaskId,
 };
+use nanotask_obs::{Counter, Histogram, Registry};
 use nanotask_trace::EventKind;
 
 use crate::cache::GraphCache;
@@ -185,6 +186,82 @@ impl core::fmt::Display for ReplayReport {
             )?;
         }
         Ok(())
+    }
+}
+
+/// Registry handles mirroring the monotone [`ReplayReport`] counters
+/// (`nanotask_replay_*_total`) plus the per-iteration feed-time
+/// histogram. The bespoke report stays the source of truth — the
+/// registry view is written from it once per `run_iterative` call, so
+/// the two can be compared field-by-field (the fig17 differential) and
+/// the registry accumulates across calls on the same runtime.
+#[derive(Clone)]
+struct ReplayObs {
+    iterations: Counter,
+    replayed: Counter,
+    rerecords: Counter,
+    diverged: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    pinned_iterations: Counter,
+    giveups: Counter,
+    nested_spawns: Counter,
+    routed_releases: Counter,
+    frontier_rescans: Counter,
+    heap_ops: Counter,
+    partition_seeds: Counter,
+    partition_seed_reused: Counter,
+    partition_seed_total: Counter,
+    /// Wall time the root body spent feeding one replayed iteration into
+    /// the frozen graph (sampled only while
+    /// [`nanotask_core::Runtime::metrics_enabled`]).
+    feed_ns: Histogram,
+}
+
+impl ReplayObs {
+    fn new(reg: &Registry) -> Self {
+        ReplayObs {
+            iterations: reg.counter("nanotask_replay_iterations_total"),
+            replayed: reg.counter("nanotask_replay_replayed_total"),
+            rerecords: reg.counter("nanotask_replay_rerecords_total"),
+            diverged: reg.counter("nanotask_replay_diverged_total"),
+            cache_hits: reg.counter("nanotask_replay_cache_hits_total"),
+            cache_misses: reg.counter("nanotask_replay_cache_misses_total"),
+            cache_evictions: reg.counter("nanotask_replay_cache_evictions_total"),
+            pinned_iterations: reg.counter("nanotask_replay_pinned_iterations_total"),
+            giveups: reg.counter("nanotask_replay_giveups_total"),
+            nested_spawns: reg.counter("nanotask_replay_nested_spawns_total"),
+            routed_releases: reg.counter("nanotask_replay_routed_releases_total"),
+            frontier_rescans: reg.counter("nanotask_replay_frontier_rescans_total"),
+            heap_ops: reg.counter("nanotask_replay_heap_ops_total"),
+            partition_seeds: reg.counter("nanotask_replay_partition_seeds_total"),
+            partition_seed_reused: reg.counter("nanotask_replay_partition_seed_reused_total"),
+            partition_seed_total: reg.counter("nanotask_replay_partition_seed_total_total"),
+            feed_ns: reg.histogram("nanotask_replay_feed_ns"),
+        }
+    }
+
+    /// Fold a finished run's report into the registry (main thread →
+    /// shard 0). Counters only ever grow, so adding the per-run totals
+    /// keeps the registry a running sum over the runtime's lifetime.
+    fn mirror(&self, r: &ReplayReport) {
+        self.iterations.add(0, r.iterations as u64);
+        self.replayed.add(0, r.replayed as u64);
+        self.rerecords.add(0, r.rerecords as u64);
+        self.diverged.add(0, r.diverged as u64);
+        self.cache_hits.add(0, r.cache_hits as u64);
+        self.cache_misses.add(0, r.cache_misses as u64);
+        self.cache_evictions.add(0, r.cache_evictions);
+        self.pinned_iterations.add(0, r.pinned_iterations as u64);
+        self.giveups.add(0, r.giveups as u64);
+        self.nested_spawns.add(0, r.nested_spawns);
+        self.routed_releases.add(0, r.routed_releases);
+        self.frontier_rescans.add(0, r.frontier_rescans);
+        self.heap_ops.add(0, r.heap_ops);
+        self.partition_seeds.add(0, r.partition_seeds);
+        self.partition_seed_reused.add(0, r.partition_seed_reused);
+        self.partition_seed_total.add(0, r.partition_seed_total);
     }
 }
 
@@ -833,6 +910,12 @@ impl RunIterative for Runtime {
         self.set_spawn_capture(Some(Arc::clone(&capture) as _));
         let prev_graph_recording = self.graph_recording();
         self.clear_graph_edges();
+        let obs = ReplayObs::new(self.metrics_registry());
+        let feed_hist = if self.metrics_enabled() {
+            Some(obs.feed_ns.clone())
+        } else {
+            None
+        };
 
         // All iterations run inside ONE root task, separated by taskwait
         // barriers: workers never tear down between iterations, which
@@ -974,7 +1057,11 @@ impl RunIterative for Runtime {
                         let state = cap.make_state(g);
                         mark_partitions(ctx, &state);
                         cap.set_feed(Arc::clone(&state));
+                        let feed_t0 = feed_hist.as_ref().map(|_| std::time::Instant::now());
                         body(ctx);
+                        if let (Some(h), Some(t0)) = (&feed_hist, feed_t0) {
+                            h.record(0, t0.elapsed().as_nanos() as u64);
+                        }
                         let end = cap.end_feed().expect("feed mode active");
                         ctx.taskwait();
                         // The feed target may have been swapped by the
@@ -1128,9 +1215,11 @@ impl RunIterative for Runtime {
             *result.lock().unwrap() = report;
         });
         self.set_spawn_capture(None);
-        Arc::try_unwrap(out)
+        let report = Arc::try_unwrap(out)
             .map(|m| m.into_inner().unwrap())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        obs.mirror(&report);
+        report
     }
 }
 
@@ -1190,6 +1279,67 @@ mod tests {
         assert_eq!(report.per_graph_replays[0].2, 4, "replays of the graph");
         check_invariants(&report);
         unsafe { drop(Box::from_raw(data)) };
+    }
+
+    /// The registry view written by [`ReplayObs::mirror`] must agree
+    /// with the bespoke report field-by-field (the same differential the
+    /// fig17 harness asserts), and accumulate across runs on one runtime.
+    #[test]
+    fn registry_mirrors_the_report() {
+        let rt = Runtime::new(RuntimeConfig::optimized().workers(3).with_metrics(true));
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let report = rt.run_iterative(6, move |ctx| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                ctx.spawn(Deps::new(), move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        check_invariants(&report);
+        let snap = rt.metrics_snapshot();
+        let pairs: [(&str, u64); 10] = [
+            ("nanotask_replay_iterations_total", report.iterations as u64),
+            ("nanotask_replay_replayed_total", report.replayed as u64),
+            ("nanotask_replay_rerecords_total", report.rerecords as u64),
+            ("nanotask_replay_diverged_total", report.diverged as u64),
+            ("nanotask_replay_cache_hits_total", report.cache_hits as u64),
+            (
+                "nanotask_replay_cache_misses_total",
+                report.cache_misses as u64,
+            ),
+            (
+                "nanotask_replay_cache_evictions_total",
+                report.cache_evictions,
+            ),
+            (
+                "nanotask_replay_pinned_iterations_total",
+                report.pinned_iterations as u64,
+            ),
+            ("nanotask_replay_giveups_total", report.giveups as u64),
+            ("nanotask_replay_nested_spawns_total", report.nested_spawns),
+        ];
+        for (name, want) in pairs {
+            assert_eq!(snap.counter(name), Some(want), "{name}");
+        }
+        // Metrics are on: every replay-arm iteration (complete or
+        // diverged) records exactly one feed-time sample.
+        let feed = snap.histogram("nanotask_replay_feed_ns").unwrap();
+        assert_eq!(feed.count, (report.replayed + report.diverged) as u64);
+        // A second run on the same runtime accumulates into the registry.
+        let c = Arc::clone(&count);
+        let second = rt.run_iterative(4, move |ctx| {
+            let c = Arc::clone(&c);
+            ctx.spawn(Deps::new(), move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        let snap = rt.metrics_snapshot();
+        assert_eq!(
+            snap.counter("nanotask_replay_iterations_total"),
+            Some((report.iterations + second.iterations) as u64)
+        );
     }
 
     #[test]

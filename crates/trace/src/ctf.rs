@@ -24,11 +24,44 @@ pub const VERSION: u32 = 1;
 /// Bytes per record.
 pub const RECORD_BYTES: usize = 24;
 
-/// Serialize a trace into `w`.
+/// Typed CTF-lite serialization failures. Carried inside the
+/// `io::Error` returned by [`write_trace`] (kind `InvalidInput`), so
+/// callers can downcast via `err.get_ref()` instead of string-matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtfError {
+    /// The trace's core count does not fit the header's on-disk `u16`.
+    NcoresOverflow(u32),
+}
+
+impl std::fmt::Display for CtfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtfError::NcoresOverflow(n) => {
+                write!(
+                    f,
+                    "ncores {n} exceeds the CTF-lite header limit {}",
+                    u16::MAX
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtfError {}
+
+/// Serialize a trace into `w`. Fails with [`CtfError::NcoresOverflow`]
+/// (wrapped in an `InvalidInput` io error) when the trace's core count
+/// cannot be represented in the header, rather than truncating it.
 pub fn write_trace<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
+    let ncores: u16 = trace.ncores().try_into().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            CtfError::NcoresOverflow(trace.ncores()),
+        )
+    })?;
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&trace.ncores().to_le_bytes())?;
+    w.write_all(&ncores.to_le_bytes())?;
     w.write_all(&(trace.events().len() as u64).to_le_bytes())?;
     let mut rec = [0u8; RECORD_BYTES];
     for e in trace.events() {
@@ -81,7 +114,7 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
             kind,
         });
     }
-    Ok(Trace::from_events(ncores, events))
+    Ok(Trace::from_events(ncores.into(), events))
 }
 
 /// Write a trace to a file path.
@@ -160,6 +193,39 @@ mod tests {
         assert!(read_trace(&mut buf.as_slice()).is_err());
     }
 
+    /// Forward-compat guard: a trace written by a *future* format
+    /// version (VERSION + 1) must be rejected up front, not
+    /// misinterpreted record-by-record.
+    #[test]
+    fn rejects_next_version_explicitly() {
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), &mut buf).unwrap();
+        buf[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn ncores_overflow_is_a_typed_error() {
+        let t = Trace::from_events(u16::MAX as u32 + 1, vec![]);
+        let err = write_trace(&t, &mut Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let inner = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<CtfError>())
+            .expect("downcasts to CtfError");
+        assert_eq!(*inner, CtfError::NcoresOverflow(u16::MAX as u32 + 1));
+        // The boundary value still serializes.
+        let t = Trace::from_events(u16::MAX as u32, vec![]);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        assert_eq!(
+            read_trace(&mut buf.as_slice()).unwrap().ncores(),
+            u16::MAX as u32
+        );
+    }
+
     #[test]
     fn rejects_bad_kind() {
         let mut buf = Vec::new();
@@ -197,7 +263,7 @@ mod prop_tests {
     use proptest::prelude::*;
 
     fn arb_event() -> impl Strategy<Value = Event> {
-        (any::<u64>(), any::<u64>(), any::<u16>(), 0u8..22).prop_map(|(ns, payload, core, k)| {
+        (any::<u64>(), any::<u64>(), any::<u16>(), 0u8..28).prop_map(|(ns, payload, core, k)| {
             Event {
                 ns,
                 payload,
@@ -211,7 +277,7 @@ mod prop_tests {
         #[test]
         fn roundtrip_any_events(
             events in proptest::collection::vec(arb_event(), 0..200),
-            ncores in 0u16..64,
+            ncores in 0u32..64,
         ) {
             let t = Trace::from_events(ncores, events);
             let mut buf = Vec::new();

@@ -189,6 +189,58 @@ mod tests {
         assert_eq!(EventKind::from_u8(28), None);
     }
 
+    /// On-disk stability: `kind` is stored as a raw `u8`, so reordering
+    /// the enum silently corrupts every existing trace. This table pins
+    /// each variant to its wire value — adding a variant means appending
+    /// here with the next discriminant; renumbering means bumping
+    /// [`crate::ctf::VERSION`].
+    #[test]
+    fn discriminants_are_pinned() {
+        use EventKind::*;
+        let pinned: &[(EventKind, u8)] = &[
+            (TaskStart, 0),
+            (TaskEnd, 1),
+            (CreateBegin, 2),
+            (CreateEnd, 3),
+            (SchedEnter, 4),
+            (SchedExit, 5),
+            (SchedServe, 6),
+            (SchedDrain, 7),
+            (AddReady, 8),
+            (DepRegister, 9),
+            (DepRelease, 10),
+            (IdleBegin, 11),
+            (IdleEnd, 12),
+            (KernelInterruptBegin, 13),
+            (KernelInterruptEnd, 14),
+            (TaskwaitBegin, 15),
+            (TaskwaitEnd, 16),
+            (UserMarker, 17),
+            (ReplayRecordBegin, 18),
+            (ReplayRecordEnd, 19),
+            (ReplayIterBegin, 20),
+            (ReplayIterEnd, 21),
+            (InlineRun, 22),
+            (ReadyBatch, 23),
+            (ReplayCacheHit, 24),
+            (ReplayGiveUp, 25),
+            (ReplayPartitionAssign, 26),
+            (NodeReadyBatch, 27),
+        ];
+        assert_eq!(
+            pinned.len(),
+            EventKind::all().len(),
+            "every variant must appear in the pinned table"
+        );
+        for &(kind, value) in pinned {
+            assert_eq!(kind as u8, value, "{kind:?} moved its wire value");
+            assert_eq!(EventKind::from_u8(value), Some(kind));
+        }
+        // The value one past the table stays unassigned until a variant
+        // claims it (and is added above).
+        assert_eq!(EventKind::from_u8(pinned.len() as u8), None);
+    }
+
     #[test]
     fn all_kinds_distinct() {
         let mut seen = std::collections::HashSet::new();

@@ -43,7 +43,7 @@ struct TracerShared {
     epoch: Instant,
     enabled: AtomicBool,
     sink: Mutex<Vec<Event>>,
-    ncores: u16,
+    ncores: u32,
 }
 
 /// Trace collection facade. Create one per runtime instance, hand one
@@ -64,7 +64,7 @@ impl Tracer {
                 epoch: Instant::now(),
                 enabled: AtomicBool::new(enabled),
                 sink: Mutex::new(Vec::new()),
-                ncores: ncores as u16,
+                ncores: ncores.try_into().unwrap_or(u32::MAX),
             }),
         }
     }
@@ -165,14 +165,14 @@ impl Drop for CoreRecorder {
 /// A finished, time-sorted trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
-    ncores: u16,
+    ncores: u32,
     events: Vec<Event>,
 }
 
 impl Trace {
     /// Build a trace directly from events (used by the CTF reader and
     /// tests). Events are sorted by timestamp.
-    pub fn from_events(ncores: u16, mut events: Vec<Event>) -> Self {
+    pub fn from_events(ncores: u32, mut events: Vec<Event>) -> Self {
         events.sort_by_key(|e| e.ns);
         Self { ncores, events }
     }
@@ -182,8 +182,12 @@ impl Trace {
         &self.events
     }
 
-    /// Number of cores the trace was recorded on.
-    pub fn ncores(&self) -> u16 {
+    /// Number of cores the trace was recorded on. Wider than the
+    /// CTF-lite header's on-disk `u16`: an in-memory trace may carry any
+    /// core count, and [`ctf::write_trace`] rejects values past
+    /// `u16::MAX` with [`ctf::CtfError::NcoresOverflow`] instead of
+    /// silently truncating.
+    pub fn ncores(&self) -> u32 {
         self.ncores
     }
 

@@ -224,9 +224,19 @@ pub struct Timeline {
 impl Timeline {
     /// Reconstruct per-core intervals from a trace.
     pub fn build(trace: &Trace) -> Self {
+        // Event cores are u16 on the wire, so the u16 clamp only ever
+        // trims synthetic `Trace::from_events` core counts past 65535.
         let ncores = trace
             .ncores()
-            .max(trace.events().iter().map(|e| e.core + 1).max().unwrap_or(0));
+            .max(
+                trace
+                    .events()
+                    .iter()
+                    .map(|e| e.core as u32 + 1)
+                    .max()
+                    .unwrap_or(0),
+            )
+            .min(u16::MAX as u32) as u16;
         let start = trace.events().first().map(|e| e.ns).unwrap_or(0);
         let end = trace.events().last().map(|e| e.ns).unwrap_or(0);
         let mut intervals: Vec<Vec<Interval>> = vec![Vec::new(); ncores as usize];
@@ -805,5 +815,104 @@ mod tests {
             state: CoreState::Idle,
         };
         assert!(z.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::Trace;
+    use crate::event::{Event, EventKind};
+    use proptest::prelude::*;
+
+    /// One busy segment on a core: `(state, duration, gap)` — which
+    /// state the core occupies, for how long, and the unaccounted
+    /// (`Other`) gap before the next segment.
+    fn arb_segments() -> impl Strategy<Value = Vec<(u8, u64, u64)>> {
+        proptest::collection::vec((0u8..4, 1u64..60, 0u64..20), 1..20)
+    }
+
+    /// Turn per-core segment lists into well-formed begin/end event
+    /// pairs. Every `Running` interval starts at exactly one
+    /// `TaskStart`, which is what makes `tasks_run` window-additive.
+    fn build_events(per_core: &[Vec<(u8, u64, u64)>]) -> Vec<Event> {
+        let mut events = Vec::new();
+        let mut id = 0u64;
+        for (core, segs) in per_core.iter().enumerate() {
+            let core = core as u16;
+            let mut t = 0u64;
+            for &(state, dur, gap) in segs {
+                let (begin, end) = match state {
+                    0 => {
+                        id += 1;
+                        (EventKind::TaskStart, EventKind::TaskEnd)
+                    }
+                    1 => (EventKind::IdleBegin, EventKind::IdleEnd),
+                    2 => (EventKind::SchedEnter, EventKind::SchedExit),
+                    _ => (
+                        EventKind::KernelInterruptBegin,
+                        EventKind::KernelInterruptEnd,
+                    ),
+                };
+                let payload = if state == 0 { id } else { 0 };
+                events.push(Event {
+                    ns: t,
+                    payload,
+                    core,
+                    kind: begin,
+                });
+                events.push(Event {
+                    ns: t + dur,
+                    payload,
+                    core,
+                    kind: end,
+                });
+                t += dur + gap;
+            }
+        }
+        events
+    }
+
+    proptest! {
+        /// Clipped-window accounting is exact: any partition of the
+        /// span into half-open windows sums ([`CoreStats::add`]) back
+        /// to the unwindowed [`Timeline::total_stats`]. Durations of
+        /// boundary-straddling intervals split across windows without
+        /// loss or double counting, and each task is counted exactly
+        /// once — in the window containing its start.
+        #[test]
+        fn window_partition_sums_to_total(
+            per_core in proptest::collection::vec(arb_segments(), 1..4),
+            cuts in proptest::collection::vec(any::<u64>(), 0..8),
+        ) {
+            let events = build_events(&per_core);
+            let tl = Timeline::build(&Trace::from_events(per_core.len() as u32, events));
+            let (start, end) = tl.span();
+            // Cover every interval, including ones ending at `end`,
+            // with half-open windows over [start, end + 1).
+            let hi = end + 1;
+            let mut bounds: Vec<u64> = cuts
+                .into_iter()
+                .map(|c| start + c % (hi - start).max(1))
+                .collect();
+            bounds.push(start);
+            bounds.push(hi);
+            bounds.sort_unstable();
+            bounds.dedup();
+            let mut summed = CoreStats::default();
+            for w in bounds.windows(2) {
+                summed.add(&tl.stats_in(w[0], w[1]));
+            }
+            prop_assert_eq!(summed, tl.total_stats());
+
+            // A window collection that *misses* part of the span
+            // undercounts — the equality above is not vacuous.
+            if end > start + 2 {
+                let mid = start + (end - start) / 2;
+                let partial = tl.stats_in(start, mid);
+                let total = tl.total_stats();
+                prop_assert!(partial.accounted_ns() < total.accounted_ns());
+            }
+        }
     }
 }
