@@ -353,6 +353,168 @@ unsafe impl RuntimeAllocator for PoolAllocator {
             slab_bytes: self.slab_bytes.load(Ordering::Relaxed),
             live: self.live.load(Ordering::Relaxed) as u64,
             oversize: self.oversize.load(Ordering::Relaxed),
+            // Task recycling is layered above (TaskSlab); the runtime
+            // folds those counters in.
+            ..AllocStats::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Task slab
+// ---------------------------------------------------------------------------
+
+/// Free slots a shelf holds before flushing half to the shared overflow.
+const SHELF_MAX: usize = 64;
+
+/// Slots moved per shelf ↔ overflow batch transfer.
+const SHELF_BATCH: usize = 32;
+
+/// Per-shelf free list of recycled object shells.
+#[derive(Default)]
+struct Shelf {
+    free: Vec<*mut u8>,
+}
+
+unsafe impl Send for Shelf {}
+
+/// Counters snapshot of a [`TaskSlab`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSlabStats {
+    /// Acquisitions served from the free list (recycled shells).
+    pub recycled: u64,
+    /// Acquisitions that fell through to the underlying allocator.
+    pub fresh: u64,
+    /// Slots currently handed out.
+    pub live: u64,
+    /// High-water mark of simultaneously handed-out slots.
+    pub peak_live: u64,
+}
+
+/// Object free-list layered on a [`RuntimeAllocator`]: fixed-layout
+/// slots (the runtime's task objects) are recycled as *initialized
+/// shells* instead of round-tripping through dealloc/alloc on every
+/// spawn. The owner clears a dead object down to its containers before
+/// recycling, so a recycled shell hands its interior capacity (vec
+/// buffers, hash-map tables) to the next occupant — the steady-state
+/// spawn path of a replayed million-task graph allocates nothing.
+///
+/// Hot path mirrors [`PoolAllocator`]'s magazines: a per-worker shelf
+/// (uncontended mutex) with batched spill to a shared overflow list, so
+/// producer/consumer imbalance across workers (one worker spawns, many
+/// free) still recycles instead of growing.
+pub struct TaskSlab {
+    layout: Layout,
+    alloc: std::sync::Arc<dyn RuntimeAllocator>,
+    /// Destructor for a recycled (still-initialized) shell; run when the
+    /// slab itself drops, before returning the memory.
+    drop_shell: unsafe fn(*mut u8),
+    shelves: Box<[Mutex<Shelf>]>,
+    overflow: Mutex<Shelf>,
+    recycled: AtomicU64,
+    fresh: AtomicU64,
+    live: AtomicU64,
+    peak_live: AtomicU64,
+}
+
+impl TaskSlab {
+    /// A slab for `layout`-shaped slots on top of `alloc`, with one
+    /// shelf per expected worker. `drop_shell` must run the shell type's
+    /// destructor (slots on the free list are initialized objects).
+    pub fn new(
+        layout: Layout,
+        alloc: std::sync::Arc<dyn RuntimeAllocator>,
+        workers: usize,
+        drop_shell: unsafe fn(*mut u8),
+    ) -> Self {
+        Self {
+            layout,
+            alloc,
+            drop_shell,
+            shelves: (0..workers.max(1)).map(|_| Mutex::default()).collect(),
+            overflow: Mutex::default(),
+            recycled: AtomicU64::new(0),
+            fresh: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+            peak_live: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot layout this slab serves.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Hand out a slot. Returns `(ptr, recycled)`: when `recycled` the
+    /// memory holds an initialized shell to re-init in place; otherwise
+    /// it is uninitialized and must be `write`-constructed.
+    pub fn acquire(&self, worker: usize) -> (*mut u8, bool) {
+        let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_live.fetch_max(live, Ordering::Relaxed);
+        let mut shelf = self.shelves[worker % self.shelves.len()].lock();
+        if let Some(p) = shelf.free.pop() {
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+            return (p, true);
+        }
+        // Shelf empty: pull a batch from the shared overflow (the frees
+        // may all be landing on other workers' shelves).
+        {
+            let mut over = self.overflow.lock();
+            let take = SHELF_BATCH.min(over.free.len());
+            if take > 0 {
+                let at = over.free.len() - take;
+                shelf.free.extend(over.free.drain(at..));
+            }
+        }
+        if let Some(p) = shelf.free.pop() {
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+            return (p, true);
+        }
+        drop(shelf);
+        self.fresh.fetch_add(1, Ordering::Relaxed);
+        (self.alloc.alloc(self.layout), false)
+    }
+
+    /// Return a cleared shell to the free list without deallocating.
+    ///
+    /// # Safety
+    /// `p` must come from [`TaskSlab::acquire`] on this slab, hold an
+    /// initialized shell (safe to drop via `drop_shell`), and not be
+    /// used afterwards.
+    pub unsafe fn recycle(&self, worker: usize, p: *mut u8) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        let mut shelf = self.shelves[worker % self.shelves.len()].lock();
+        shelf.free.push(p);
+        if shelf.free.len() >= SHELF_MAX {
+            let keep = shelf.free.len() / 2;
+            let mut over = self.overflow.lock();
+            over.free.extend(shelf.free.drain(keep..));
+        }
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> TaskSlabStats {
+        TaskSlabStats {
+            recycled: self.recycled.load(Ordering::Relaxed),
+            fresh: self.fresh.load(Ordering::Relaxed),
+            live: self.live.load(Ordering::Relaxed),
+            peak_live: self.peak_live.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for TaskSlab {
+    fn drop(&mut self) {
+        let mut all: Vec<*mut u8> = Vec::new();
+        for shelf in self.shelves.iter() {
+            all.append(&mut shelf.lock().free);
+        }
+        all.append(&mut self.overflow.lock().free);
+        for p in all {
+            unsafe {
+                (self.drop_shell)(p);
+                self.alloc.dealloc(p, self.layout);
+            }
         }
     }
 }
@@ -521,6 +683,135 @@ mod tests {
             let layout = Layout::from_size_align(40, 8).unwrap();
             let p = a.alloc(layout);
             unsafe { a.dealloc(p, layout) };
+        }
+    }
+
+    /// Shell type for slab tests: interior capacity + drop tracking.
+    struct Shell {
+        payload: Vec<u64>,
+        drops: Arc<core::sync::atomic::AtomicUsize>,
+    }
+
+    impl Drop for Shell {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    unsafe fn drop_shell(p: *mut u8) {
+        unsafe { core::ptr::drop_in_place(p as *mut Shell) };
+    }
+
+    fn shell_slab(alloc: Arc<dyn RuntimeAllocator>) -> TaskSlab {
+        TaskSlab::new(Layout::new::<Shell>(), alloc, 2, drop_shell)
+    }
+
+    #[test]
+    fn slab_recycles_shells_with_capacity() {
+        let drops = Arc::new(core::sync::atomic::AtomicUsize::new(0));
+        let pool: Arc<dyn RuntimeAllocator> = Arc::new(PoolAllocator::new(2));
+        let slab = shell_slab(Arc::clone(&pool));
+        let (p, recycled) = slab.acquire(0);
+        assert!(!recycled, "first acquire must be fresh");
+        let sp = p as *mut Shell;
+        unsafe {
+            sp.write(Shell {
+                payload: Vec::with_capacity(100),
+                drops: Arc::clone(&drops),
+            });
+            // Owner clears contents but keeps containers, then recycles.
+            (*sp).payload.clear();
+            slab.recycle(0, p);
+        }
+        let (q, recycled) = slab.acquire(0);
+        assert!(recycled, "second acquire must reuse the shell");
+        assert_eq!(p, q, "shelf should return the just-recycled slot");
+        unsafe {
+            // Interior capacity survived the recycle round-trip.
+            assert!((*(q as *mut Shell)).payload.capacity() >= 100);
+        }
+        let s = slab.stats();
+        assert_eq!((s.recycled, s.fresh, s.live, s.peak_live), (1, 1, 1, 1));
+        unsafe { slab.recycle(0, q) };
+        assert_eq!(drops.load(Ordering::Relaxed), 0, "shells live until slab drop");
+        drop(slab);
+        assert_eq!(drops.load(Ordering::Relaxed), 1, "slab drop runs destructors");
+        assert_eq!(pool.stats().live, 0, "slab drop returns memory");
+    }
+
+    #[test]
+    fn slab_shares_across_workers_via_overflow() {
+        // Worker 1 frees, worker 0 allocates: after worker 1's shelf
+        // spills, worker 0 must recycle from the shared overflow.
+        let drops = Arc::new(core::sync::atomic::AtomicUsize::new(0));
+        let pool: Arc<dyn RuntimeAllocator> = Arc::new(PoolAllocator::new(2));
+        let slab = shell_slab(pool);
+        let ptrs: Vec<*mut u8> = (0..SHELF_MAX + 8)
+            .map(|_| {
+                let (p, _) = slab.acquire(0);
+                unsafe {
+                    (p as *mut Shell).write(Shell {
+                        payload: Vec::new(),
+                        drops: Arc::clone(&drops),
+                    });
+                }
+                p
+            })
+            .collect();
+        for p in ptrs {
+            unsafe { slab.recycle(1, p) };
+        }
+        let mut recycled_count = 0;
+        for _ in 0..SHELF_MAX {
+            let (p, recycled) = slab.acquire(0);
+            if recycled {
+                recycled_count += 1;
+                unsafe { slab.recycle(0, p) };
+            } else {
+                unsafe {
+                    (p as *mut Shell).write(Shell {
+                        payload: Vec::new(),
+                        drops: Arc::clone(&drops),
+                    });
+                    slab.recycle(0, p);
+                }
+            }
+        }
+        assert!(
+            recycled_count >= SHELF_BATCH,
+            "overflow batch must reach the allocating worker (got {recycled_count})"
+        );
+    }
+
+    #[test]
+    fn slab_conforms_on_every_allocator_kind() {
+        for kind in [
+            AllocatorKind::Pool,
+            AllocatorKind::System,
+            AllocatorKind::Serialized,
+        ] {
+            let drops = Arc::new(core::sync::atomic::AtomicUsize::new(0));
+            let alloc = make_allocator(kind, 2);
+            let slab = shell_slab(Arc::clone(&alloc));
+            for round in 0..3 {
+                let (p, recycled) = slab.acquire(0);
+                assert_eq!(recycled, round > 0, "kind {kind:?} round {round}");
+                if !recycled {
+                    unsafe {
+                        (p as *mut Shell).write(Shell {
+                            payload: vec![7; 4],
+                            drops: Arc::clone(&drops),
+                        });
+                    }
+                }
+                unsafe {
+                    (*(p as *mut Shell)).payload.clear();
+                    slab.recycle(0, p);
+                }
+            }
+            drop(slab);
+            assert_eq!(drops.load(Ordering::Relaxed), 1);
+            assert_eq!(alloc.stats().live, 0, "kind {kind:?} leaked");
         }
     }
 

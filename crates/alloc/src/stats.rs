@@ -16,6 +16,14 @@ pub struct AllocStats {
     pub live: u64,
     /// Requests too large/over-aligned for the pool (system passthrough).
     pub oversize: u64,
+    /// Task objects served as recycled shells from the task slab
+    /// (interior capacity retained) instead of fresh allocations.
+    pub recycle_hits: u64,
+    /// Task objects that needed a fresh allocation (slab free list
+    /// empty — the warmup cost of each distinct in-flight task slot).
+    pub recycle_misses: u64,
+    /// High-water mark of simultaneously live task objects.
+    pub peak_live_tasks: u64,
 }
 
 impl AllocStats {
@@ -28,19 +36,34 @@ impl AllocStats {
             self.pool_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of task allocations served as recycled shells.
+    pub fn recycle_rate(&self) -> f64 {
+        let total = self.recycle_hits + self.recycle_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.recycle_hits as f64 / total as f64
+        }
+    }
 }
 
 impl core::fmt::Display for AllocStats {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "hits={} misses={} hit_rate={:.1}% slab_bytes={} live={} oversize={}",
+            "hits={} misses={} hit_rate={:.1}% slab_bytes={} live={} oversize={} \
+             recycled={} recycle_misses={} recycle_rate={:.1}% peak_tasks={}",
             self.pool_hits,
             self.pool_misses,
             self.hit_rate() * 100.0,
             self.slab_bytes,
             self.live,
-            self.oversize
+            self.oversize,
+            self.recycle_hits,
+            self.recycle_misses,
+            self.recycle_rate() * 100.0,
+            self.peak_live_tasks
         )
     }
 }
@@ -72,10 +95,26 @@ mod tests {
             slab_bytes: 1024,
             live: 2,
             oversize: 1,
+            recycle_hits: 9,
+            recycle_misses: 1,
+            peak_live_tasks: 7,
         };
         let text = s.to_string();
         assert!(text.contains("hits=5"));
         assert!(text.contains("50.0%"));
         assert!(text.contains("slab_bytes=1024"));
+        assert!(text.contains("recycled=9"));
+        assert!(text.contains("peak_tasks=7"));
+    }
+
+    #[test]
+    fn recycle_rate_computes_fraction() {
+        assert_eq!(AllocStats::default().recycle_rate(), 0.0);
+        let s = AllocStats {
+            recycle_hits: 9,
+            recycle_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.recycle_rate() - 0.9).abs() < 1e-12);
     }
 }

@@ -1,7 +1,12 @@
 //! Scheduler microbenchmark backing the §3.4 claim (DTLock ≈ 4× a
-//! PTLock-protected scheduler; SPSC buffering ≈ 12× serial insertion).
+//! PTLock-protected scheduler; SPSC buffering ≈ 12× serial insertion),
+//! plus the task-allocation path the scheduler feeds: a `TaskSlab`
+//! recycle round-trip against the raw pool alloc/dealloc round-trip it
+//! replaces on the steady-state spawn path.
 
+use core::alloc::Layout;
 use criterion::{Criterion, criterion_group, criterion_main};
+use nanotask_alloc::{AllocatorKind, TaskSlab, make_allocator};
 use nanotask_core::sched::{LockKind, Policy, SchedKind, TaskPtr, make_scheduler};
 use std::sync::Arc;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,6 +48,34 @@ fn throughput(c: &mut Criterion, name: &str, kind: SchedKind) {
     });
 }
 
+/// Task-object allocation on the spawn path: a slab recycle hit vs the
+/// pool alloc/dealloc round-trip it replaces. Regressions here show up
+/// without running the full fig18 harness.
+fn task_alloc(c: &mut Criterion) {
+    let layout = Layout::from_size_align(192, 8).unwrap(); // ≈ task object
+    c.bench_function("sched/task_alloc/pool_roundtrip", |b| {
+        let a = make_allocator(AllocatorKind::Pool, 4);
+        b.iter(|| {
+            let p = a.alloc(layout);
+            std::hint::black_box(p);
+            unsafe { a.dealloc(p, layout) };
+        });
+    });
+    c.bench_function("sched/task_alloc/slab_recycle", |b| {
+        unsafe fn drop_noop(_p: *mut u8) {}
+        let slab = TaskSlab::new(layout, make_allocator(AllocatorKind::Pool, 4), 4, drop_noop);
+        // Prime one shell so every measured round-trip is a recycle hit
+        // (the steady state of a replayed graph).
+        let (p, _) = slab.acquire(0);
+        unsafe { slab.recycle(0, p) };
+        b.iter(|| {
+            let (p, hit) = slab.acquire(0);
+            std::hint::black_box((p, hit));
+            unsafe { slab.recycle(0, p) };
+        });
+    });
+}
+
 fn bench(c: &mut Criterion) {
     throughput(c, "delegation", SchedKind::Delegation);
     throughput(c, "central_ptlock", SchedKind::Central(LockKind::PtLock));
@@ -57,6 +90,6 @@ fn bench(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench
+    targets = bench, task_alloc
 }
 criterion_main!(benches);

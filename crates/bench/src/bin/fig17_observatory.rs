@@ -232,6 +232,64 @@ fn differential_fields(rt: &Runtime, report: &ReplayReport) -> Vec<Field> {
         c("nanotask_replay_partition_seeds_total"),
         report.partition_seeds,
     );
+
+    // Freeze/memory accounting (million-task scaling work).
+    push(
+        "nanotask_replay_freeze_ns_total",
+        c("nanotask_replay_freeze_ns_total"),
+        report.freeze_ns,
+    );
+    push(
+        "nanotask_replay_tasks_recycled_total",
+        c("nanotask_replay_tasks_recycled_total"),
+        report.tasks_recycled,
+    );
+    push(
+        "nanotask_replay_graph_bytes",
+        g("nanotask_replay_graph_bytes"),
+        report.graph_bytes,
+    );
+    push(
+        "nanotask_replay_peak_task_bytes",
+        g("nanotask_replay_peak_task_bytes"),
+        report.peak_task_bytes,
+    );
+
+    // Allocator gauges, published absolutely at snapshot time from the
+    // same AllocStats the legacy view reads.
+    let a = &rr.stats.alloc;
+    push("nanotask_alloc_pool_hits", g("nanotask_alloc_pool_hits"), a.pool_hits);
+    push(
+        "nanotask_alloc_pool_misses",
+        g("nanotask_alloc_pool_misses"),
+        a.pool_misses,
+    );
+    push(
+        "nanotask_alloc_slab_bytes",
+        g("nanotask_alloc_slab_bytes"),
+        a.slab_bytes,
+    );
+    push(
+        "nanotask_alloc_live_blocks",
+        g("nanotask_alloc_live_blocks"),
+        a.live,
+    );
+    push("nanotask_alloc_oversize", g("nanotask_alloc_oversize"), a.oversize);
+    push(
+        "nanotask_alloc_tasks_recycled",
+        g("nanotask_alloc_tasks_recycled"),
+        a.recycle_hits,
+    );
+    push(
+        "nanotask_alloc_task_recycle_misses",
+        g("nanotask_alloc_task_recycle_misses"),
+        a.recycle_misses,
+    );
+    push(
+        "nanotask_alloc_peak_live_tasks",
+        g("nanotask_alloc_peak_live_tasks"),
+        a.peak_live_tasks,
+    );
     f
 }
 

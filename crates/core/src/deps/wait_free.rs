@@ -266,8 +266,10 @@ unsafe impl DependencySystem for WaitFreeDeps {
 
         let parent = t.parent;
         // The parent's child bottom map is thread-confined to us (the
-        // single-creator invariant: we *are* the parent's body).
-        let bottom = unsafe { &mut *(*parent).child_bottom.get() };
+        // single-creator invariant: we *are* the parent's body). This is
+        // the demand-creation site: a task only pays for a map once it
+        // registers a child with accesses (leaf tasks never do).
+        let bottom = unsafe { (*parent).child_bottom_or_init() };
         let mut mb = MailBox::new();
 
         for (i, d) in decls.iter_mut().enumerate() {
@@ -367,8 +369,10 @@ unsafe impl DependencySystem for WaitFreeDeps {
         let mut mb = MailBox::new();
         // Close this task's child dependency domain: the children set is
         // final (only the body creates children, and it just returned).
-        let bottom = unsafe { &mut *t.child_bottom.get() };
-        for (&addr, &last) in bottom.iter() {
+        // Leaf tasks never created a map — `bottom` is `None` and every
+        // own access closes with NO_MORE_CHILD below.
+        let bottom = unsafe { t.child_bottom_ref() };
+        for (&addr, &last) in bottom.into_iter().flatten() {
             let mut lf = flags::NO_MORE_SUCC;
             let own = unsafe { Self::parent_access(task, addr) };
             if !own.is_null() {
@@ -393,13 +397,17 @@ unsafe impl DependencySystem for WaitFreeDeps {
             for (i, d) in decls.iter().enumerate() {
                 let a_ptr = unsafe { t.accesses.add(i) };
                 let mut cf = flags::COMPLETE;
-                if !bottom.contains_key(&d.addr) {
+                if !bottom.is_some_and(|b| b.contains_key(&d.addr)) {
                     cf |= flags::NO_MORE_CHILD;
                 }
                 mb.push(Message::oneway(a_ptr, cf));
             }
         }
-        bottom.clear();
+        // Drop the stale child-access pointers now rather than at
+        // reclamation (the map itself is retained for recycling).
+        if let Some(map) = unsafe { &mut *t.child_bottom.get() }.as_deref_mut() {
+            map.clear();
+        }
         unsafe { self.deliver_all(&mut mb, hooks) };
     }
 

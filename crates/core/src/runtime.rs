@@ -16,9 +16,9 @@ use core::alloc::Layout;
 use core::cell::RefCell;
 use parking_lot::Mutex;
 use std::sync::Arc;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use nanotask_alloc::{AllocStats, AllocatorKind, RuntimeAllocator, make_allocator};
+use nanotask_alloc::{AllocStats, AllocatorKind, RuntimeAllocator, TaskSlab, make_allocator};
 use nanotask_locks::Backoff;
 use nanotask_obs::{
     Counter, FlightFrame, FlightRecorder, Gauge, Histogram, MaxGauge, Registry, Snapshot,
@@ -31,7 +31,7 @@ use crate::deps::{DepHooks, DependencySystem, Deps, DepsKind, make_deps};
 use crate::graph::{EdgeKind, GraphEdge};
 use crate::platform::Platform;
 use crate::sched::{Policy, SchedKind, Scheduler, TaskPtr, make_scheduler};
-use crate::task::{Task, TaskBody, TaskId};
+use crate::task::{Task, TaskBody, TaskId, TaskState};
 
 /// Observer of task spawns issued by the *root* task — the hook the
 /// record & replay subsystem (`nanotask-replay`) uses to capture a task
@@ -583,6 +583,18 @@ pub(crate) struct Metrics {
     /// `enabled`).
     pub release_batch_tasks: Histogram,
     pub flight: FlightRecorder,
+    /// Allocator-pressure gauges, published as absolute values from
+    /// [`AllocStats`] at snapshot time ([`Runtime::metrics_snapshot`]) so
+    /// allocator state appears in the same scrape as the scheduler
+    /// counters — no hot-path writes.
+    pub alloc_pool_hits: Gauge,
+    pub alloc_pool_misses: Gauge,
+    pub alloc_slab_bytes: Gauge,
+    pub alloc_live_blocks: Gauge,
+    pub alloc_oversize: Gauge,
+    pub alloc_tasks_recycled: Gauge,
+    pub alloc_task_recycle_misses: Gauge,
+    pub alloc_peak_live_tasks: Gauge,
 }
 
 impl Metrics {
@@ -613,8 +625,29 @@ impl Metrics {
             } else {
                 FlightRecorder::disabled()
             },
+            alloc_pool_hits: registry.gauge("nanotask_alloc_pool_hits"),
+            alloc_pool_misses: registry.gauge("nanotask_alloc_pool_misses"),
+            alloc_slab_bytes: registry.gauge("nanotask_alloc_slab_bytes"),
+            alloc_live_blocks: registry.gauge("nanotask_alloc_live_blocks"),
+            alloc_oversize: registry.gauge("nanotask_alloc_oversize"),
+            alloc_tasks_recycled: registry.gauge("nanotask_alloc_tasks_recycled"),
+            alloc_task_recycle_misses: registry.gauge("nanotask_alloc_task_recycle_misses"),
+            alloc_peak_live_tasks: registry.gauge("nanotask_alloc_peak_live_tasks"),
             registry,
         }
+    }
+
+    /// Publish an [`AllocStats`] reading into the alloc gauges (absolute
+    /// writes; call from snapshot paths only).
+    fn publish_alloc(&self, s: &AllocStats) {
+        self.alloc_pool_hits.set(s.pool_hits);
+        self.alloc_pool_misses.set(s.pool_misses);
+        self.alloc_slab_bytes.set(s.slab_bytes);
+        self.alloc_live_blocks.set(s.live);
+        self.alloc_oversize.set(s.oversize);
+        self.alloc_tasks_recycled.set(s.recycle_hits);
+        self.alloc_task_recycle_misses.set(s.recycle_misses);
+        self.alloc_peak_live_tasks.set(s.peak_live_tasks);
     }
 }
 
@@ -626,6 +659,11 @@ pub(crate) struct Shared {
     pub sched: Arc<dyn Scheduler>,
     pub deps: Arc<dyn DependencySystem>,
     pub alloc: Arc<dyn RuntimeAllocator>,
+    /// Recycling free list for `Task` shells, layered on `alloc`:
+    /// reclaimed task objects come back with their interior capacity
+    /// (decls buffer, bottom map, cold box) instead of round-tripping
+    /// through dealloc/alloc on every spawn.
+    pub task_slab: TaskSlab,
     pub tracer: Tracer,
     pub noise: Option<NoiseInjector>,
     pub graph: Mutex<Vec<GraphEdge>>,
@@ -651,7 +689,37 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    /// Reclaim a task object and its access array.
+    /// Allocate a task object — as a recycled shell when the slab has
+    /// one (re-initialized in place, interior capacity retained), or as
+    /// a fresh allocation otherwise.
+    ///
+    /// # Safety
+    /// The returned pointer is valid until handed to [`Shared::free_task`].
+    unsafe fn alloc_task(
+        &self,
+        worker: usize,
+        id: TaskId,
+        label: &'static str,
+        parent: *mut Task,
+        created_by: u32,
+        body: TaskBody,
+        decls: Vec<crate::deps::AccessDecl>,
+    ) -> *mut Task {
+        let (p, recycled) = self.task_slab.acquire(worker);
+        let t = p as *mut Task;
+        unsafe {
+            if recycled {
+                (*t).reinit_recycled(id, label, parent, created_by, body, decls);
+            } else {
+                t.write(Task::new(id, label, parent, created_by, body, decls));
+            }
+        }
+        t
+    }
+
+    /// Reclaim a task object and its access array. The shell is cleared
+    /// ([`Task::reset_for_recycle`]) and returned to the task slab, not
+    /// deallocated.
     ///
     /// # Safety
     /// Called exactly once per task, when its removal refs hit zero.
@@ -666,9 +734,11 @@ impl Shared {
                 }
                 let layout = Layout::array::<DataAccess>(task.n_accesses).unwrap();
                 self.alloc.dealloc(task.accesses as *mut u8, layout);
+                task.accesses = core::ptr::null_mut();
+                task.n_accesses = 0;
             }
-            core::ptr::drop_in_place(t);
-            self.alloc.dealloc(t as *mut u8, Layout::new::<Task>());
+            task.reset_for_recycle();
+            self.task_slab.recycle(worker, t as *mut u8);
         }
     }
 }
@@ -1033,22 +1103,30 @@ impl TaskCtx<'_> {
         self.worker.record(EventKind::CreateBegin, id);
         shared.metrics.tasks_created.inc(self.worker.id);
         shared.metrics.live_tasks.inc(self.worker.id);
-        let t = shared.alloc.alloc(Layout::new::<Task>()) as *mut Task;
-        unsafe {
-            let mut task = Task::new(id, label, self.task, self.worker.id as u32, body, decls);
-            task.priority = priority;
-            task.epilogue = epilogue;
+        let t = unsafe {
+            let t = shared.alloc_task(
+                self.worker.id,
+                id,
+                label,
+                self.task,
+                self.worker.id as u32,
+                body,
+                decls,
+            );
+            (*t).priority = priority;
+            if let Some(epilogue) = epilogue {
+                (*t).set_epilogue(epilogue);
+            }
             // No dependency registration: readiness is one release call
             // (+ the creation guard we drop below), and reclamation needs
             // only the subtree reference (no ASMs are materialized).
-            task.registered = false;
-            task.blockers = AtomicUsize::new(2);
-            task.removal_refs = AtomicUsize::new(1);
-            t.write(task);
+            (*t).registered = false;
+            (*t).state = TaskState::new_held();
             (*self.task).add_child();
             let became_ready = (*t).unblock();
             debug_assert!(!became_ready, "held task ready before release");
-        }
+            t
+        };
         self.worker.record(EventKind::CreateEnd, id);
         HeldTask(t)
     }
@@ -1241,9 +1319,9 @@ impl TaskCtx<'_> {
         shared.metrics.tasks_created.inc(self.worker.id);
         shared.metrics.live_tasks.inc(self.worker.id);
 
-        let t = shared.alloc.alloc(Layout::new::<Task>()) as *mut Task;
         unsafe {
-            let mut task = Task::new(
+            let t = shared.alloc_task(
+                self.worker.id,
                 id,
                 label,
                 self.task,
@@ -1251,9 +1329,10 @@ impl TaskCtx<'_> {
                 body,
                 deps.into_decls(),
             );
-            task.priority = priority;
-            task.completion_flag = completion;
-            t.write(task);
+            (*t).priority = priority;
+            if let Some(flag) = completion {
+                (*t).set_completion_flag(flag);
+            }
             (*self.task).add_child();
             let hooks = Hooks { w: self.worker };
             shared.deps.register(t, &hooks);
@@ -1354,9 +1433,9 @@ fn run_body(w: &WorkerCtx, t: *mut Task) {
         };
         let body = unsafe { (*t).take_body() }.expect("task executed twice");
         body(&ctx);
-        // SAFETY: only the executing worker touches `epilogue` after
+        // SAFETY: only the executing worker touches the epilogue after
         // publication (same confinement as `take_body`).
-        if let Some((epi, tag)) = unsafe { (*t).epilogue.take() } {
+        if let Some((epi, tag)) = unsafe { (*t).take_epilogue() } {
             epi.run(&ctx, tag);
         }
     }
@@ -1476,7 +1555,7 @@ fn finish_subtree(w: &WorkerCtx, t: *mut Task) {
         }
         let parent = (*t).parent;
         // Signal external waiters before the memory can be reclaimed.
-        if let Some(flag) = &(*t).completion_flag {
+        if let Some(flag) = (*t).completion_flag() {
             let flag = Arc::clone(flag);
             flag.store(true, Ordering::Release);
         }
@@ -1559,6 +1638,18 @@ impl Runtime {
         );
         let deps = make_deps(cfg.deps);
         let alloc = make_allocator(cfg.alloc, cfg.workers + 1);
+        // SAFETY(drop_shell): every pointer the slab retains is a fully
+        // initialized (dead, reset) `Task` — `alloc_task` writes fresh
+        // shells and `free_task` only recycles after `reset_for_recycle`.
+        unsafe fn drop_task_shell(p: *mut u8) {
+            unsafe { core::ptr::drop_in_place(p as *mut Task) }
+        }
+        let task_slab = TaskSlab::new(
+            Layout::new::<Task>(),
+            Arc::clone(&alloc),
+            cfg.workers + 1,
+            drop_task_shell,
+        );
         let tracer = Tracer::new(cfg.workers, cfg.trace);
         let noise = cfg.noise.map(NoiseInjector::new);
         let topology = crate::platform::Topology::contiguous(cfg.workers, cfg.numa_nodes);
@@ -1567,6 +1658,7 @@ impl Runtime {
             sched,
             deps,
             alloc,
+            task_slab,
             tracer: tracer.clone(),
             noise,
             graph: Mutex::new(Vec::new()),
@@ -1603,13 +1695,20 @@ impl Runtime {
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
         shared.metrics.tasks_created.inc(0);
         shared.metrics.live_tasks.inc(0);
-        let t = shared.alloc.alloc(Layout::new::<Task>()) as *mut Task;
         let done = Arc::new(AtomicBool::new(false));
-        unsafe {
-            let mut task = Task::new(id, "root", core::ptr::null_mut(), 0, Box::new(root), vec![]);
-            task.completion_flag = Some(Arc::clone(&done));
-            t.write(task);
-        }
+        let t = unsafe {
+            let t = shared.alloc_task(
+                0,
+                id,
+                "root",
+                core::ptr::null_mut(),
+                0,
+                Box::new(root),
+                vec![],
+            );
+            (*t).set_completion_flag(Arc::clone(&done));
+            t
+        };
         // The root has no dependencies: execute it right away on this
         // thread, then help until its subtree completes. The completion
         // flag lives outside task memory, so polling it races with
@@ -1663,13 +1762,33 @@ impl Runtime {
             (0, 0, 0)
         };
         let m = &self.shared.metrics;
+        let mut alloc = self.shared.alloc.stats();
+        // Fold the task-slab recycling counters into the allocator view:
+        // one `AllocStats` carries both layers.
+        let slab = self.shared.task_slab.stats();
+        alloc.recycle_hits = slab.recycled;
+        alloc.recycle_misses = slab.fresh;
+        alloc.peak_live_tasks = slab.peak_live;
         RuntimeStats {
             tasks_created: m.tasks_created.value(),
             tasks_executed: m.tasks_executed.value(),
             tasks_freed: m.tasks_freed.value(),
-            alloc: self.shared.alloc.stats(),
+            alloc,
             deps_deliveries,
         }
+    }
+
+    /// Task spawns served as recycled shells from the task slab
+    /// (monotone).
+    pub fn tasks_recycled(&self) -> u64 {
+        self.shared.task_slab.stats().recycled
+    }
+
+    /// High-water mark of task-object memory: peak simultaneously live
+    /// tasks × task-shell size (headers only; interior capacity such as
+    /// decls buffers is owned by the shells and recycled with them).
+    pub fn peak_task_bytes(&self) -> u64 {
+        self.shared.task_slab.stats().peak_live * core::mem::size_of::<Task>() as u64
     }
 
     /// Aggregate counters plus scheduler-operation and fast-path
@@ -1698,8 +1817,12 @@ impl Runtime {
         &self.shared.metrics.registry
     }
 
-    /// One consistent read of every registered metric.
+    /// One consistent read of every registered metric. Publishes the
+    /// current allocator pressure ([`AllocStats`], including task-slab
+    /// recycling) into the alloc gauges first, so one scrape carries
+    /// scheduler counters and allocator state together.
     pub fn metrics_snapshot(&self) -> Snapshot {
+        self.shared.metrics.publish_alloc(&self.stats().alloc);
         self.shared.metrics.registry.snapshot()
     }
 

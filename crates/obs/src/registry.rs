@@ -110,6 +110,15 @@ impl Gauge {
         self.cells.add(shard, u64::MAX); // wrapping -1
     }
 
+    /// Set the aggregate to an absolute value by writing the wrapping
+    /// delta onto shard 0. For low-frequency publish paths (e.g. copying
+    /// allocator stats into a scrape) — not safe against concurrent
+    /// `set` calls, and concurrent `inc`/`dec` traffic will move the
+    /// aggregate off `v` as usual.
+    pub fn set(&self, v: u64) {
+        self.cells.add(0, v.wrapping_sub(self.value()));
+    }
+
     /// Aggregated value (wrapping sum of all shards).
     pub fn value(&self) -> u64 {
         self.cells.sum()
@@ -572,6 +581,19 @@ mod tests {
         g.inc(1);
         g.dec(3); // freed on a different worker than created
         assert_eq!(g.value(), 2);
+    }
+
+    #[test]
+    fn gauge_set_is_absolute() {
+        let reg = Registry::new(4);
+        let g = reg.gauge("nanotask_alloc_slab_bytes");
+        g.set(4096);
+        assert_eq!(g.value(), 4096);
+        g.set(1024); // downward across the shard sum still lands exactly
+        assert_eq!(g.value(), 1024);
+        g.inc(2);
+        g.set(77);
+        assert_eq!(g.value(), 77);
     }
 
     #[test]

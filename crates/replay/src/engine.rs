@@ -25,7 +25,7 @@ use nanotask_core::deps::reduction::ReductionInfo;
 use nanotask_core::{
     Deps, HeldTask, Runtime, SpawnCapture, TaskBody, TaskCtx, TaskEpilogue, TaskId,
 };
-use nanotask_obs::{Counter, Histogram, Registry};
+use nanotask_obs::{Counter, Histogram, MaxGauge, Registry};
 use nanotask_trace::EventKind;
 
 use crate::cache::GraphCache;
@@ -116,6 +116,18 @@ pub struct ReplayReport {
     pub partition_seed_reused: u64,
     /// See [`ReplayReport::partition_seed_reused`].
     pub partition_seed_total: u64,
+    /// Wall time spent freezing captured iterations into CSR graphs
+    /// (the initial record plus every divergence re-freeze), summed.
+    pub freeze_ns: u64,
+    /// Frozen footprint of the last built graph in bytes
+    /// ([`crate::graph::ReplayGraph::bytes`]).
+    pub graph_bytes: u64,
+    /// High-water mark of task-object memory over the runtime's lifetime
+    /// (peak simultaneously live tasks × task-shell size).
+    pub peak_task_bytes: u64,
+    /// Task spawns served as recycled shells from the task slab during
+    /// this run (delta of the runtime's monotone counter).
+    pub tasks_recycled: u64,
 }
 
 impl ReplayReport {
@@ -172,6 +184,11 @@ impl core::fmt::Display for ReplayReport {
             self.edges,
             self.foreign_edges,
         )?;
+        write!(
+            f,
+            " | mem: freeze_ns={} graph_bytes={} peak_task_bytes={} recycled={}",
+            self.freeze_ns, self.graph_bytes, self.peak_task_bytes, self.tasks_recycled,
+        )?;
         if self.partitions > 0 {
             write!(
                 f,
@@ -213,6 +230,12 @@ struct ReplayObs {
     partition_seeds: Counter,
     partition_seed_reused: Counter,
     partition_seed_total: Counter,
+    freeze_ns: Counter,
+    tasks_recycled: Counter,
+    /// High-water marks, not sums: the largest frozen graph and the task
+    /// memory peak the runtime ever reached.
+    graph_bytes: MaxGauge,
+    peak_task_bytes: MaxGauge,
     /// Wall time the root body spent feeding one replayed iteration into
     /// the frozen graph (sampled only while
     /// [`nanotask_core::Runtime::metrics_enabled`]).
@@ -238,6 +261,10 @@ impl ReplayObs {
             partition_seeds: reg.counter("nanotask_replay_partition_seeds_total"),
             partition_seed_reused: reg.counter("nanotask_replay_partition_seed_reused_total"),
             partition_seed_total: reg.counter("nanotask_replay_partition_seed_total_total"),
+            freeze_ns: reg.counter("nanotask_replay_freeze_ns_total"),
+            tasks_recycled: reg.counter("nanotask_replay_tasks_recycled_total"),
+            graph_bytes: reg.max_gauge("nanotask_replay_graph_bytes"),
+            peak_task_bytes: reg.max_gauge("nanotask_replay_peak_task_bytes"),
             feed_ns: reg.histogram("nanotask_replay_feed_ns"),
         }
     }
@@ -262,6 +289,10 @@ impl ReplayObs {
         self.partition_seeds.add(0, r.partition_seeds);
         self.partition_seed_reused.add(0, r.partition_seed_reused);
         self.partition_seed_total.add(0, r.partition_seed_total);
+        self.freeze_ns.add(0, r.freeze_ns);
+        self.tasks_recycled.add(0, r.tasks_recycled);
+        self.graph_bytes.record(0, r.graph_bytes);
+        self.peak_task_bytes.record(0, r.peak_task_bytes);
     }
 }
 
@@ -911,6 +942,7 @@ impl RunIterative for Runtime {
         let prev_graph_recording = self.graph_recording();
         self.clear_graph_edges();
         let obs = ReplayObs::new(self.metrics_registry());
+        let recycled0 = self.tasks_recycled();
         let feed_hist = if self.metrics_enabled() {
             Some(obs.feed_ns.clone())
         } else {
@@ -1014,7 +1046,9 @@ impl RunIterative for Runtime {
                         ctx.set_graph_recording(prev_graph_recording);
                         let tap = ctx.take_graph_edges();
                         let nested = ctx.nested_spawn_count() - nested0;
+                        let freeze_t0 = std::time::Instant::now();
                         let g = Arc::new(ReplayGraph::build_with(&captured, &tap, cap.hmode));
+                        report.freeze_ns += freeze_t0.elapsed().as_nanos() as u64;
                         ctx.trace_mark(EventKind::ReplayRecordEnd, g.len() as u64);
                         report.rerecords += 1;
                         report.cache_misses += 1;
@@ -1159,11 +1193,13 @@ impl RunIterative for Runtime {
                                 } else {
                                     report.rerecords += 1;
                                     report.cache_misses += 1;
+                                    let freeze_t0 = std::time::Instant::now();
                                     let ng = Arc::new(ReplayGraph::build_with(
                                         &captured,
                                         &[],
                                         cap.hmode,
                                     ));
+                                    report.freeze_ns += freeze_t0.elapsed().as_nanos() as u64;
                                     last_graph = Some(Arc::clone(&ng));
                                     if nested > 0 {
                                         pin_nested!();
@@ -1203,6 +1239,7 @@ impl RunIterative for Runtime {
                 report.edges = g.edge_count();
                 report.edge_list = g.edge_pairs();
                 report.foreign_edges = g.foreign_edge_count();
+                report.graph_bytes = g.bytes();
             }
             report.cache_evictions = cache!().evictions();
             report.per_graph_replays = cache!().per_graph_replays();
@@ -1215,9 +1252,14 @@ impl RunIterative for Runtime {
             *result.lock().unwrap() = report;
         });
         self.set_spawn_capture(None);
-        let report = Arc::try_unwrap(out)
+        let mut report = Arc::try_unwrap(out)
             .map(|m| m.into_inner().unwrap())
             .unwrap_or_default();
+        // Allocator-side evidence, read from the runtime after the run:
+        // recycled spawns as a per-run delta, the memory peak as the
+        // runtime-lifetime high-water mark.
+        report.tasks_recycled = self.tasks_recycled().saturating_sub(recycled0);
+        report.peak_task_bytes = self.peak_task_bytes();
         obs.mirror(&report);
         report
     }
@@ -1323,6 +1365,28 @@ mod tests {
         for (name, want) in pairs {
             assert_eq!(snap.counter(name), Some(want), "{name}");
         }
+        // Memory/freeze evidence: populated in the report and mirrored
+        // (counters as running sums, sizes as high-water marks).
+        assert!(report.freeze_ns > 0, "record iteration froze a graph");
+        assert!(report.graph_bytes > 0, "frozen graph has a footprint");
+        assert!(report.peak_task_bytes > 0, "tasks were live");
+        assert!(report.tasks_recycled > 0, "iterations recycle shells");
+        assert_eq!(
+            snap.counter("nanotask_replay_freeze_ns_total"),
+            Some(report.freeze_ns)
+        );
+        assert_eq!(
+            snap.counter("nanotask_replay_tasks_recycled_total"),
+            Some(report.tasks_recycled)
+        );
+        assert_eq!(
+            snap.gauge("nanotask_replay_graph_bytes"),
+            Some(report.graph_bytes)
+        );
+        assert_eq!(
+            snap.gauge("nanotask_replay_peak_task_bytes"),
+            Some(report.peak_task_bytes)
+        );
         // Metrics are on: every replay-arm iteration (complete or
         // diverged) records exactly one feed-time sample.
         let feed = snap.histogram("nanotask_replay_feed_ns").unwrap();

@@ -29,6 +29,7 @@
 //! linking into the recorded iteration (counted, for diagnostics).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
 
@@ -36,7 +37,7 @@ use nanotask_core::graph::{EdgeKind, GraphEdge};
 use nanotask_core::task::Task;
 use nanotask_core::{AccessDecl, AccessMode, RedOp, TaskId};
 
-use crate::recorder::{CapturedDecls, CapturedSpawn, SigHashMode};
+use crate::recorder::{CapturedDecls, CapturedSpawn, STRUCTURAL_HASH_SEED, SigHashMode};
 
 /// Scalar metadata of one frozen node (creation order = node index).
 /// Variable-length data — successors, declarations, reduction
@@ -104,13 +105,166 @@ pub struct ReplayGraph {
     slots: Vec<AtomicPtr<Task>>,
 }
 
-/// Per-address sweep state of the builder.
+/// Fold-multiply hasher for the builder's address/id maps. The freeze
+/// sweep does a map probe per access; at 10^6-node graphs the default
+/// SipHash is a measurable per-node cost with no adversary to resist
+/// (addresses come from the application's own data structures).
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x517c_c1b7_2722_0a95);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Spread the high (multiply-mixed) bits into the table-index
+        // low bits.
+        self.0.rotate_left(26)
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Sentinel for an unassigned [`AddrIndex`] dense-table slot.
+const ADDR_UNASSIGNED: u32 = u32::MAX;
+
+/// Address → dense state index for the freeze sweep.
+///
+/// Applications register dependencies on their own data structures —
+/// overwhelmingly contiguous arrays — so the address set almost always
+/// spans a compact, uniformly aligned range. A direct-mapped table over
+/// `(addr - min) >> alignment` turns the per-access map probe (at 10^6
+/// addresses: a guaranteed cache miss into a tens-of-MB hash table, the
+/// dominant freeze cost) into one indexed load with the application's
+/// own locality. The hash map stays as the fallback for sparse or
+/// irregular address sets.
+enum AddrIndex {
+    Dense {
+        min: usize,
+        shift: u32,
+        table: Vec<u32>,
+    },
+    Map(FxMap<usize, u32>),
+}
+
+impl AddrIndex {
+    /// Pick the representation from the address range observed in the
+    /// first pass: the `min..=max` span and the XOR-accumulated
+    /// alignment of all address differences. Dense wins whenever the
+    /// aligned span stays within a small multiple of the access count —
+    /// the table is then at most a few times the size the hash map
+    /// would have been, with none of its probe misses.
+    fn new(min: usize, max: usize, xor: usize, accesses: usize) -> Self {
+        if accesses == 0 {
+            return Self::Map(FxMap::default());
+        }
+        let shift = if xor == 0 { 0 } else { xor.trailing_zeros() };
+        let table_len = ((max - min) >> shift) + 1;
+        if table_len <= accesses.saturating_mul(4) + 1024 {
+            Self::Dense {
+                min,
+                shift,
+                table: vec![ADDR_UNASSIGNED; table_len],
+            }
+        } else {
+            Self::Map(FxMap::default())
+        }
+    }
+
+    /// The assignment slot for `addr` (`ADDR_UNASSIGNED` when no state
+    /// index has been handed out yet).
+    #[inline]
+    fn slot(&mut self, addr: usize) -> &mut u32 {
+        match self {
+            Self::Dense { min, shift, table } => &mut table[(addr - *min) >> *shift],
+            Self::Map(m) => m.entry(addr).or_insert(ADDR_UNASSIGNED),
+        }
+    }
+}
+
+/// Node list with two inline slots. Barrier/group sets are almost
+/// always tiny (a single writer, a pair of stencil readers); keeping
+/// them inline means single-access addresses — the common case at
+/// million-task scale — cost the builder zero heap allocations.
+#[derive(Default)]
+struct TinyVec {
+    inline: [u32; 2],
+    len: u8,
+    spill: Vec<u32>,
+}
+
+impl TinyVec {
+    #[inline]
+    fn push(&mut self, v: u32) {
+        if !self.spill.is_empty() {
+            self.spill.push(v);
+        } else if (self.len as usize) < 2 {
+            self.inline[self.len as usize] = v;
+            self.len += 1;
+        } else {
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(v);
+        }
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0 && self.spill.is_empty()
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u32] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+/// Per-address sweep state of the builder. Stored in a dense first-touch
+/// array (the hash table maps address → index only): the table entries
+/// stay small enough to cache at million-address scale, and first-touch
+/// order matches the application's own traversal, so neighbour lookups
+/// (stencils, wavefronts) land near each other instead of at random
+/// hash positions.
 struct AddrState {
     /// The completed exclusive set every current-group member depends on.
-    barrier: Vec<u32>,
+    barrier: TinyVec,
     /// The currently accumulating concurrent group.
-    group: Vec<u32>,
+    group: TinyVec,
     class: GroupClass,
+}
+
+impl Default for AddrState {
+    fn default() -> Self {
+        Self {
+            barrier: TinyVec::default(),
+            group: TinyVec::default(),
+            class: GroupClass::Exclusive,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,9 +291,11 @@ fn bare_decl(d: &AccessDecl) -> AccessDecl {
 }
 
 /// One task's declarations with duplicate addresses coalesced
-/// (first-occurrence order, strongest mode wins).
-fn coalesced(decls: &[AccessDecl]) -> Vec<AccessDecl> {
-    let mut eff: Vec<AccessDecl> = Vec::with_capacity(decls.len());
+/// (first-occurrence order, strongest mode wins), written into a
+/// caller-owned scratch buffer so the freeze sweep performs no per-node
+/// allocation.
+fn coalesce_into(decls: &[AccessDecl], eff: &mut Vec<AccessDecl>) {
+    eff.clear();
     for d in decls {
         if let Some(prev) = eff.iter_mut().find(|p| p.addr == d.addr) {
             prev.mode = merge_modes(prev.mode, d.mode);
@@ -148,7 +304,6 @@ fn coalesced(decls: &[AccessDecl]) -> Vec<AccessDecl> {
             eff.push(d.clone());
         }
     }
-    eff
 }
 
 impl ReplayGraph {
@@ -165,24 +320,44 @@ impl ReplayGraph {
     /// same function the engine will match fed spawns with.
     pub fn build_with(captured: &[CapturedSpawn], tap: &[GraphEdge], mode: SigHashMode) -> Self {
         let n = captured.len();
-        let mut meta: Vec<NodeMeta> = captured
-            .iter()
-            .map(|c| NodeMeta {
-                label: c.label,
-                priority: c.priority,
-                sig: mode.sig(c.label, c.priority, c.decls.as_slice()),
-                indeg: 0,
-            })
-            .collect();
-
-        // Declaration arena: the bare access sets, one contiguous run per
-        // node — the single frozen copy ([`ReplayGraph::prefix_captured`]
-        // and the partitioner index into it, nothing re-clones it).
+        // One pass over the captured spawns builds both the per-node
+        // scalars (label, priority, signature hash) and the declaration
+        // arena — the bare access sets, one contiguous run per node, the
+        // single frozen copy ([`ReplayGraph::prefix_captured`] and the
+        // partitioner index into it, nothing re-clones it). After a long
+        // record iteration the captured decl vectors sit scattered across
+        // the heap in allocation order; every separate sweep over them
+        // re-pays those cache misses, so everything downstream (the edge
+        // sweep, the structural hash) reads the contiguous arena or the
+        // already-computed sigs instead of touching `captured` again.
+        let mut meta: Vec<NodeMeta> = Vec::with_capacity(n);
         let mut decl_off: Vec<u32> = Vec::with_capacity(n + 1);
         let mut decl_data: Vec<AccessDecl> = Vec::new();
         decl_off.push(0);
+        // Address-range statistics for [`AddrIndex`]: min/max give the
+        // span; the XOR of every address against the first gives the
+        // common alignment of all pairwise differences (`x ^ y` with k
+        // trailing zeros ⇒ `x ≡ y (mod 2^k)`), order-independently and
+        // with no per-address storage.
+        let mut addr_min = usize::MAX;
+        let mut addr_max = 0usize;
+        let mut addr_xor = 0usize;
+        let mut addr_first = None;
         for c in captured {
-            decl_data.extend(c.decls.as_slice().iter().map(bare_decl));
+            let ds = c.decls.as_slice();
+            meta.push(NodeMeta {
+                label: c.label,
+                priority: c.priority,
+                sig: mode.sig(c.label, c.priority, ds),
+                indeg: 0,
+            });
+            for d in ds {
+                let first = *addr_first.get_or_insert(d.addr);
+                addr_xor |= d.addr ^ first;
+                addr_min = addr_min.min(d.addr);
+                addr_max = addr_max.max(d.addr);
+            }
+            decl_data.extend(ds.iter().map(bare_decl));
             decl_off.push(decl_data.len() as u32);
         }
 
@@ -191,11 +366,36 @@ impl ReplayGraph {
         let mut red_data: Vec<(AccessDecl, u32)> = Vec::new();
         red_off.push(0);
         let mut edges: Vec<(u32, u32)> = Vec::new();
-        let mut per_addr: HashMap<usize, AddrState> = HashMap::new();
+        let mut per_addr = AddrIndex::new(addr_min, addr_max, addr_xor, decl_data.len());
+        let mut addr_states: Vec<AddrState> = Vec::new();
+        // Generation-time dedup: edges into node `i` are only emitted
+        // while sweeping node `i`, so one stamp per predecessor suffices —
+        // `stamp[from] == i + 1` marks `(from, i)` as already recorded.
+        // This replaces the former O(E log E) sort+dedup of the edge list
+        // with O(E) work total.
+        let mut stamp: Vec<u32> = vec![0; n];
+        // Out-degree per node, reused as the counting-sort cursor below.
+        let mut succ_count: Vec<u32> = vec![0; n];
+        // Per-node coalesce scratch (no transient allocation per node).
+        let mut eff: Vec<AccessDecl> = Vec::new();
 
-        for (i, c) in captured.iter().enumerate() {
+        for i in 0..n {
+            // The arena copy made above carries everything this sweep
+            // needs (addr/len/mode) — read it, not the scattered
+            // captured vectors.
+            let node_decls = &decl_data[decl_off[i] as usize..decl_off[i + 1] as usize];
             let i = i as u32;
-            for d in &coalesced(c.decls.as_slice()) {
+            let mut push_edge = |from: u32| {
+                debug_assert!(from < i, "edges point forward in creation order");
+                if stamp[from as usize] != i + 1 {
+                    stamp[from as usize] = i + 1;
+                    succ_count[from as usize] += 1;
+                    meta[i as usize].indeg += 1;
+                    edges.push((from, i));
+                }
+            };
+            coalesce_into(node_decls, &mut eff);
+            for d in &eff {
                 let class = match d.mode {
                     AccessMode::Read => GroupClass::Readers,
                     AccessMode::Reduction(op) => {
@@ -204,11 +404,13 @@ impl ReplayGraph {
                     }
                     _ => GroupClass::Exclusive,
                 };
-                let st = per_addr.entry(d.addr).or_insert_with(|| AddrState {
-                    barrier: Vec::new(),
-                    group: Vec::new(),
-                    class: GroupClass::Exclusive,
-                });
+                let slot = per_addr.slot(d.addr);
+                if *slot == ADDR_UNASSIGNED {
+                    addr_states.push(AddrState::default());
+                    *slot = (addr_states.len() - 1) as u32;
+                }
+                let si = *slot;
+                let st = &mut addr_states[si as usize];
                 let joins = !st.group.is_empty()
                     && match (st.class, class) {
                         (GroupClass::Readers, GroupClass::Readers) => true,
@@ -216,15 +418,19 @@ impl ReplayGraph {
                         _ => false,
                     };
                 if joins {
-                    for &b in &st.barrier {
-                        edges.push((b, i));
+                    for &b in st.barrier.as_slice() {
+                        push_edge(b);
                     }
                     st.group.push(i);
                 } else {
-                    for &g in &st.group {
-                        edges.push((g, i));
+                    for &g in st.group.as_slice() {
+                        push_edge(g);
                     }
-                    st.barrier = std::mem::take(&mut st.group);
+                    // Rotate group → barrier keeping both buffers (the
+                    // former `mem::take` dropped one allocation per
+                    // rotation per address).
+                    std::mem::swap(&mut st.barrier, &mut st.group);
+                    st.group.clear();
                     st.group.push(i);
                     st.class = match class {
                         GroupClass::Red(op, _) => {
@@ -247,37 +453,89 @@ impl ReplayGraph {
             red_off.push(red_data.len() as u32);
         }
 
-        edges.sort_unstable();
-        edges.dedup();
-        // Sorted-deduplicated edge pairs ARE the successor CSR: the `to`
-        // fields in order form the arena, the `from` runs the offsets.
-        let mut succ_off: Vec<u32> = vec![0; n + 1];
-        let mut succ_data: Vec<u32> = Vec::with_capacity(edges.len());
-        for &(from, to) in &edges {
-            debug_assert!(from < to, "edges point forward in creation order");
-            succ_off[from as usize + 1] += 1;
-            succ_data.push(to);
-            meta[to as usize].indeg += 1;
+        // Counting sort by `from` builds the successor CSR in O(n + E).
+        // Edges were emitted in increasing `to` order, so a stable
+        // scatter reproduces the (from, to)-lexicographic layout the
+        // sorted builder produced.
+        let mut succ_off: Vec<u32> = Vec::with_capacity(n + 1);
+        succ_off.push(0);
+        let mut acc = 0u32;
+        for count in succ_count.iter_mut() {
+            let c = *count;
+            *count = acc; // becomes this node's scatter cursor
+            acc += c;
+            succ_off.push(acc);
         }
-        for i in 0..n {
-            succ_off[i + 1] += succ_off[i];
+        let mut succ_data: Vec<u32> = vec![0; edges.len()];
+        for &(from, to) in &edges {
+            let cur = &mut succ_count[from as usize];
+            succ_data[*cur as usize] = to;
+            *cur += 1;
         }
 
-        // Cross-check against the tapped dependency-system edges.
-        let ids: HashMap<TaskId, u32> = captured
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| c.id.map(|id| (id, i as u32)))
-            .collect();
+        // Cross-check against the tapped dependency-system edges. The
+        // id index is only worth building when there is a tap to check
+        // (re-records and untapped runs pass an empty slice).
         let mut tapped_edges = 0;
         let mut foreign_edges = 0;
-        for e in tap {
-            if e.kind != EdgeKind::Successor {
-                continue;
+        if tap.iter().any(|e| e.kind == EdgeKind::Successor) {
+            // Captured ids come from one monotonically increasing counter
+            // during the record iteration, so they cluster in a dense
+            // range. A bitmap over that range answers membership in O(1)
+            // from a few hundred KB that stay cached — the former
+            // n-entry hash map was, at 10^6 nodes, the single most
+            // expensive phase of the whole freeze (every probe a cache
+            // miss). The map remains as the fallback for sparse id sets
+            // (hand-built captures).
+            let mut lo = TaskId::MAX;
+            let mut hi = TaskId::MIN;
+            let mut have = 0usize;
+            for c in captured {
+                if let Some(id) = c.id {
+                    lo = lo.min(id);
+                    hi = hi.max(id);
+                    have += 1;
+                }
             }
-            match (ids.get(&e.from), ids.get(&e.to)) {
-                (Some(_), Some(_)) => tapped_edges += 1,
-                _ => foreign_edges += 1,
+            let span = if have == 0 { 0 } else { (hi - lo + 1) as usize };
+            if have > 0 && span <= have * 4 + 1024 {
+                let mut bits = vec![0u64; span.div_ceil(64)];
+                for c in captured {
+                    if let Some(id) = c.id {
+                        let b = (id - lo) as usize;
+                        bits[b / 64] |= 1 << (b % 64);
+                    }
+                }
+                let member = |id: TaskId| {
+                    (lo..=hi).contains(&id) && {
+                        let b = (id - lo) as usize;
+                        bits[b / 64] & (1 << (b % 64)) != 0
+                    }
+                };
+                for e in tap {
+                    if e.kind != EdgeKind::Successor {
+                        continue;
+                    }
+                    if member(e.from) && member(e.to) {
+                        tapped_edges += 1;
+                    } else {
+                        foreign_edges += 1;
+                    }
+                }
+            } else {
+                let ids: FxMap<TaskId, ()> = captured
+                    .iter()
+                    .filter_map(|c| c.id.map(|id| (id, ())))
+                    .collect();
+                for e in tap {
+                    if e.kind != EdgeKind::Successor {
+                        continue;
+                    }
+                    match (ids.get(&e.from), ids.get(&e.to)) {
+                        (Some(_), Some(_)) => tapped_edges += 1,
+                        _ => foreign_edges += 1,
+                    }
+                }
             }
         }
 
@@ -286,8 +544,16 @@ impl ReplayGraph {
         let slots = (0..n)
             .map(|_| AtomicPtr::new(core::ptr::null_mut()))
             .collect();
+        // Fold the structural hash from the per-node sigs computed in
+        // the first pass — identical by construction to
+        // `mode.structural_hash(captured)` (which chains `sig(c)` per
+        // node from the same seed) without a third sweep over the
+        // scattered captured decls.
+        let h = meta
+            .iter()
+            .fold(STRUCTURAL_HASH_SEED, |h, m| mode.chain(h, m.sig));
         Self {
-            hash: mode.structural_hash(captured),
+            hash: h,
             edges: edges.len(),
             meta,
             succ_off,
@@ -382,6 +648,26 @@ impl ReplayGraph {
     /// Total (deduplicated) edges.
     pub fn edge_count(&self) -> usize {
         self.edges
+    }
+
+    /// Frozen footprint in bytes: every arena the steady state walks
+    /// (per-node metadata, successor/declaration/reduction CSR arenas,
+    /// reduction groups, in-degree template + counters, task slots).
+    /// Interior heap of `AccessDecl` is not counted — bare frozen decls
+    /// carry no chain state.
+    pub fn bytes(&self) -> u64 {
+        use core::mem::size_of;
+        (self.meta.len() * size_of::<NodeMeta>()
+            + self.succ_off.len() * size_of::<u32>()
+            + self.succ_data.len() * size_of::<u32>()
+            + self.decl_off.len() * size_of::<u32>()
+            + self.decl_data.len() * size_of::<AccessDecl>()
+            + self.red_off.len() * size_of::<u32>()
+            + self.red_data.len() * size_of::<(AccessDecl, u32)>()
+            + self.groups.len() * size_of::<RedGroup>()
+            + self.pending_template.len() * size_of::<u32>()
+            + self.pending.len() * size_of::<AtomicU32>()
+            + self.slots.len() * size_of::<AtomicPtr<Task>>()) as u64
     }
 
     /// Successor edges tapped from the dependency system between
@@ -674,6 +960,32 @@ mod tests {
         let g2 = ReplayGraph::build(&prefix, &[]);
         assert_eq!(g2.structural_hash(), g.structural_hash());
         assert_eq!(g2.edge_pairs(), g.edge_pairs());
+    }
+
+    #[test]
+    fn edges_are_lexicographically_sorted_and_deduped() {
+        // A denser mixed-mode sweep: the stamp-dedup + counting-sort CSR
+        // must reproduce the (from, to)-sorted duplicate-free layout of
+        // the former sort+dedup builder.
+        let mut caps = Vec::new();
+        for i in 0..64usize {
+            let decls = match i % 4 {
+                0 => vec![rw(0x10)],
+                1 => vec![rd(0x10), rw(0x20)],
+                2 => vec![rd(0x10), rd(0x20), red(0x30)],
+                _ => vec![rw(0x10), rw(0x20), rw(0x30)],
+            };
+            caps.push(cap("t", decls));
+        }
+        let g = ReplayGraph::build(&caps, &[]);
+        let pairs = g.edge_pairs();
+        assert_eq!(g.edge_count(), pairs.len());
+        for w in pairs.windows(2) {
+            assert!(w[0] < w[1], "sorted and deduplicated: {w:?}");
+        }
+        let indeg_sum: u32 = g.nodes().iter().map(|m| m.indeg).sum();
+        assert_eq!(indeg_sum as usize, pairs.len());
+        assert!(g.bytes() > 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The [`GraphRecorder`]: a [`SpawnCapture`] that turns root spawns into
 //! captured graph nodes.
 
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use nanotask_core::{AccessDecl, AccessMode, Deps, SpawnCapture, TaskBody, TaskCtx, TaskId};
@@ -93,6 +93,11 @@ pub struct GraphRecorder {
     active: AtomicBool,
     mode: AtomicU8, // 0 = Record, 1 = Consume
     buf: Mutex<Vec<CapturedSpawn>>,
+    /// Length of the last taken capture: [`GraphRecorder::begin`]
+    /// pre-reserves it so a million-spawn record pays one allocation
+    /// instead of a doubling-growth series (`take` hands the buffer —
+    /// and its capacity — to the caller).
+    last_len: AtomicUsize,
 }
 
 /// FNV-1a over a byte stream.
@@ -228,7 +233,15 @@ impl GraphRecorder {
 
     /// Start capturing in `mode` (clears any previous capture).
     pub fn begin(&self, mode: CaptureMode) {
-        self.buf.lock().unwrap().clear();
+        {
+            let mut buf = self.buf.lock().unwrap();
+            buf.clear();
+            let hint = self.last_len.load(Ordering::Relaxed);
+            if buf.capacity() < hint {
+                // `buf` was just cleared: reserve the full hint.
+                buf.reserve_exact(hint);
+            }
+        }
         self.mode.store(
             if mode == CaptureMode::Consume { 1 } else { 0 },
             Ordering::Relaxed,
@@ -244,7 +257,9 @@ impl GraphRecorder {
     /// Stop capturing and take the captured spawns.
     pub fn take(&self) -> Vec<CapturedSpawn> {
         self.stop();
-        std::mem::take(&mut *self.buf.lock().unwrap())
+        let taken = std::mem::take(&mut *self.buf.lock().unwrap());
+        self.last_len.store(taken.len(), Ordering::Relaxed);
+        taken
     }
 
     /// Structural hash of a captured spawn sequence (the per-spawn

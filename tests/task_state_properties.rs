@@ -1,0 +1,268 @@
+//! Differential property tests for the packed task life-cycle word.
+//!
+//! `TaskState` packs the old `blockers` / `live_children` /
+//! `removal_refs` triple into one atomic u64. These tests pit it
+//! against a three-separate-counters reference model: any legal
+//! interleaving of life-cycle operations must produce identical
+//! ready / fully-done / reclaim decisions, and each decision must fire
+//! exactly once. Debug builds must also panic on protocol violations
+//! (field under/overflow) instead of silently borrowing across fields.
+
+use nanotask::runtime_core::task::TaskState;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+/// The pre-packing representation: three independent counters.
+#[derive(Debug)]
+struct RefState {
+    blockers: u64,
+    children: u64,
+    removal: u64,
+    fully_done: bool,
+}
+
+impl RefState {
+    fn with_counts(blockers: u64, children: u64, removal: u64) -> Self {
+        Self {
+            blockers,
+            children,
+            removal,
+            fully_done: false,
+        }
+    }
+
+    fn unblock(&mut self) -> bool {
+        self.blockers -= 1;
+        self.blockers == 0
+    }
+
+    fn add_child(&mut self) {
+        self.children += 1;
+    }
+
+    fn drop_child_ref(&mut self) -> bool {
+        self.children -= 1;
+        if self.children == 0 {
+            self.fully_done = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn drop_removal_ref(&mut self) -> bool {
+        self.removal -= 1;
+        self.removal == 0
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Op {
+    Unblock,
+    AddChild,
+    DropChild,
+    DropRemoval,
+}
+
+/// Turn an arbitrary byte string into a *legal* operation sequence for
+/// a task with `blockers` initial blockers, `extra_children` add/drop
+/// pairs on top of the body guard, and `removal` removal refs. At each
+/// step the next byte selects among the currently-legal operations, so
+/// every generated sequence respects the life-cycle protocol while the
+/// interleaving across the three fields stays adversarial.
+fn legalize(blockers: u64, extra_children: u64, removal: u64, choices: &[u8]) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut unblocks_left = blockers;
+    let mut adds_left = extra_children;
+    let mut children = 1u64; // the body guard
+    let mut removals_left = removal;
+    let mut i = 0usize;
+    loop {
+        let mut legal = Vec::new();
+        if unblocks_left > 0 {
+            legal.push(Op::Unblock);
+        }
+        // Adding requires a still-live subtree; dropping to zero is
+        // final, so it is only legal once no adds remain stranded.
+        if adds_left > 0 && children >= 1 {
+            legal.push(Op::AddChild);
+        }
+        if children >= 1 && (children > 1 || adds_left == 0) {
+            legal.push(Op::DropChild);
+        }
+        if removals_left > 0 {
+            legal.push(Op::DropRemoval);
+        }
+        if legal.is_empty() {
+            return ops;
+        }
+        let pick = legal[choices.get(i).copied().unwrap_or(0) as usize % legal.len()];
+        i += 1;
+        match pick {
+            Op::Unblock => unblocks_left -= 1,
+            Op::AddChild => {
+                adds_left -= 1;
+                children += 1;
+            }
+            Op::DropChild => children -= 1,
+            Op::DropRemoval => removals_left -= 1,
+        }
+        ops.push(pick);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The packed word and the three-counter reference make identical
+    /// decisions on every legal interleaving, and each terminal
+    /// decision (ready, fully-done, reclaim) fires exactly once.
+    #[test]
+    fn packed_word_matches_three_counter_reference(
+        blockers in 1u64..24,
+        extra_children in 0u64..16,
+        removal in 1u64..24,
+        choices in proptest::collection::vec(any::<u8>(), 0..160),
+    ) {
+        let ops = legalize(blockers, extra_children, removal, &choices);
+        let packed = TaskState::with_counts(blockers, 1, removal);
+        let mut reference = RefState::with_counts(blockers, 1, removal);
+        let (mut readies, mut dones, mut reclaims) = (0u32, 0u32, 0u32);
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Unblock => {
+                    let (p, r) = (packed.unblock(), reference.unblock());
+                    prop_assert_eq!(p, r, "unblock diverged at step {}", step);
+                    readies += u32::from(p);
+                }
+                Op::AddChild => {
+                    packed.add_child();
+                    reference.add_child();
+                }
+                Op::DropChild => {
+                    let (p, r) = (packed.drop_child_ref(), reference.drop_child_ref());
+                    prop_assert_eq!(p, r, "drop_child_ref diverged at step {}", step);
+                    dones += u32::from(p);
+                }
+                Op::DropRemoval => {
+                    let (p, r) = (packed.drop_removal_ref(), reference.drop_removal_ref());
+                    prop_assert_eq!(p, r, "drop_removal_ref diverged at step {}", step);
+                    reclaims += u32::from(p);
+                }
+            }
+            prop_assert_eq!(
+                packed.is_fully_done(),
+                reference.fully_done,
+                "fully-done flag diverged at step {}",
+                step
+            );
+            prop_assert_eq!(packed.pending_children(), reference.children as usize);
+        }
+        // Every sequence drains every field exactly once.
+        prop_assert_eq!((readies, dones, reclaims), (1, 1, 1));
+        prop_assert!(packed.is_fully_done());
+    }
+
+    /// Held-task initialization is the (2, 1, 1) protocol state.
+    #[test]
+    fn held_and_registered_constructors_match_reference(n in 0usize..40) {
+        let held = TaskState::new_held();
+        prop_assert!(!held.unblock());
+        prop_assert!(held.unblock());
+
+        let reg = TaskState::new_registered(n);
+        for _ in 0..n {
+            prop_assert!(!reg.unblock());
+        }
+        prop_assert!(reg.unblock());
+        for _ in 0..n {
+            prop_assert!(!reg.drop_removal_ref());
+        }
+        prop_assert!(reg.drop_removal_ref());
+    }
+}
+
+/// Concurrent decrements: exactly one thread observes each terminal
+/// transition, and simultaneous traffic on *different* fields never
+/// corrupts a neighbour (no carries across the packed boundaries).
+#[test]
+fn racing_decrements_have_exactly_one_winner_per_field() {
+    const THREADS: u64 = 8;
+    const ROUNDS: usize = 50;
+    for _ in 0..ROUNDS {
+        let state = Arc::new(TaskState::with_counts(THREADS, THREADS, THREADS));
+        let ready = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicU64::new(0));
+        let reclaim = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (s, rd, dn, rc) =
+                    (Arc::clone(&state), Arc::clone(&ready), Arc::clone(&done), Arc::clone(&reclaim));
+                thread::spawn(move || {
+                    rd.fetch_add(u64::from(s.unblock()), Ordering::Relaxed);
+                    dn.fetch_add(u64::from(s.drop_child_ref()), Ordering::Relaxed);
+                    rc.fetch_add(u64::from(s.drop_removal_ref()), Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ready.load(Ordering::Relaxed), 1, "exactly one ready winner");
+        assert_eq!(done.load(Ordering::Relaxed), 1, "exactly one fully-done winner");
+        assert_eq!(reclaim.load(Ordering::Relaxed), 1, "exactly one reclaim winner");
+        assert!(state.is_fully_done());
+        assert_eq!(state.pending_children(), 0);
+    }
+}
+
+// Debug builds turn protocol violations into panics instead of letting
+// a borrow silently corrupt the neighbouring field.
+#[cfg(debug_assertions)]
+mod debug_guards {
+    use super::TaskState;
+
+    #[test]
+    #[should_panic(expected = "blockers underflow")]
+    fn unblock_past_zero_panics() {
+        let s = TaskState::with_counts(0, 1, 1);
+        s.unblock();
+    }
+
+    #[test]
+    #[should_panic(expected = "live_children underflow")]
+    fn drop_child_past_zero_panics() {
+        let s = TaskState::with_counts(1, 0, 1);
+        s.drop_child_ref();
+    }
+
+    #[test]
+    #[should_panic(expected = "removal_refs underflow")]
+    fn drop_removal_past_zero_panics() {
+        let s = TaskState::with_counts(1, 1, 0);
+        s.drop_removal_ref();
+    }
+
+    #[test]
+    #[should_panic(expected = "live_children overflow")]
+    fn add_child_at_field_max_panics() {
+        let s = TaskState::with_counts(0, TaskState::MAX_CHILDREN, 0);
+        s.add_child();
+    }
+
+    #[test]
+    #[should_panic(expected = "child added to a finished task")]
+    fn add_child_after_fully_done_panics() {
+        let s = TaskState::with_counts(0, 1, 1);
+        assert!(s.drop_child_ref());
+        s.add_child();
+    }
+
+    #[test]
+    #[should_panic(expected = "blockers overflow")]
+    fn with_counts_rejects_oversized_blockers() {
+        let _ = TaskState::with_counts(TaskState::MAX_BLOCKERS + 1, 1, 1);
+    }
+}
