@@ -733,9 +733,17 @@ mod tests {
         let s = slab.stats();
         assert_eq!((s.recycled, s.fresh, s.live, s.peak_live), (1, 1, 1, 1));
         unsafe { slab.recycle(0, q) };
-        assert_eq!(drops.load(Ordering::Relaxed), 0, "shells live until slab drop");
+        assert_eq!(
+            drops.load(Ordering::Relaxed),
+            0,
+            "shells live until slab drop"
+        );
         drop(slab);
-        assert_eq!(drops.load(Ordering::Relaxed), 1, "slab drop runs destructors");
+        assert_eq!(
+            drops.load(Ordering::Relaxed),
+            1,
+            "slab drop runs destructors"
+        );
         assert_eq!(pool.stats().live, 0, "slab drop returns memory");
     }
 

@@ -258,7 +258,11 @@ fn differential_fields(rt: &Runtime, report: &ReplayReport) -> Vec<Field> {
     // Allocator gauges, published absolutely at snapshot time from the
     // same AllocStats the legacy view reads.
     let a = &rr.stats.alloc;
-    push("nanotask_alloc_pool_hits", g("nanotask_alloc_pool_hits"), a.pool_hits);
+    push(
+        "nanotask_alloc_pool_hits",
+        g("nanotask_alloc_pool_hits"),
+        a.pool_hits,
+    );
     push(
         "nanotask_alloc_pool_misses",
         g("nanotask_alloc_pool_misses"),
@@ -274,7 +278,11 @@ fn differential_fields(rt: &Runtime, report: &ReplayReport) -> Vec<Field> {
         g("nanotask_alloc_live_blocks"),
         a.live,
     );
-    push("nanotask_alloc_oversize", g("nanotask_alloc_oversize"), a.oversize);
+    push(
+        "nanotask_alloc_oversize",
+        g("nanotask_alloc_oversize"),
+        a.oversize,
+    );
     push(
         "nanotask_alloc_tasks_recycled",
         g("nanotask_alloc_tasks_recycled"),

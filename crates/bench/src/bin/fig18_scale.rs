@@ -204,7 +204,12 @@ fn child_main(cfg: &RuntimeConfig, spec: &str) -> ! {
     let (report, rate, maps, _) = run_point(cfg, workers, family, tasks, iters);
     println!(
         "freeze_ns={} graph_bytes={} peak_task_bytes={} tasks_recycled={} rate={} maps={}",
-        report.freeze_ns, report.graph_bytes, report.peak_task_bytes, report.tasks_recycled, rate, maps
+        report.freeze_ns,
+        report.graph_bytes,
+        report.peak_task_bytes,
+        report.tasks_recycled,
+        rate,
+        maps
     );
     std::process::exit(0);
 }
@@ -298,7 +303,7 @@ fn run_point(
     let per_iter = t0.elapsed().as_secs_f64() / iters as f64;
     let maps = bottom_maps_created() - maps0;
     report.assert_classification();
-    assert_eq!(report.tasks as usize, tasks, "{}: task count", family.name());
+    assert_eq!(report.tasks, tasks, "{}: task count", family.name());
     assert_eq!(report.replayed, iters - 1, "{}: must replay", family.name());
     for (i, &v) in cells.iter().enumerate() {
         assert!(v.is_finite(), "{} cell {i} diverged: {v}", family.name());
@@ -549,7 +554,10 @@ fn main() {
         ("differential_ratio", Json::from(ratio)),
         ("differential_met", Json::from(diff_met)),
         ("target_met", Json::from(diff_met)),
-        ("rows", Json::Arr(points.iter().map(SweepPoint::json).collect())),
+        (
+            "rows",
+            Json::Arr(points.iter().map(SweepPoint::json).collect()),
+        ),
     ]);
     match json::write_bench_json("fig18_scale", &doc) {
         Ok(Some(path)) => eprintln!("# wrote {}", path.display()),

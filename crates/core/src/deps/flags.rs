@@ -75,9 +75,18 @@ pub const ACK_SUCC: u64 = 1 << 21;
 /// The completion report to the parent (or the root no-op) was delivered.
 pub const ACK_PARENT: u64 = 1 << 22;
 
+/// The owning task of a *predecessor* access failed (or was itself
+/// poisoned): this access's task must be cancelled. Rides the final
+/// successor propagation only — never the early read/write forwards
+/// (those successors may legitimately already be running) and never the
+/// child chain (children are not successors). Monotone like every other
+/// state bit and referenced by no readiness/terminal predicate, so the
+/// wait-freedom and reclamation arguments are unaffected.
+pub const POISON: u64 = 1 << 23;
+
 /// Number of distinct state flags (|F| in the paper's Lemma 2.3: an access
 /// can receive at most this many non-empty messages).
-pub const FLAG_COUNT: u32 = 21;
+pub const FLAG_COUNT: u32 = 22;
 
 /// Extract the type bits.
 #[inline]
@@ -253,6 +262,7 @@ pub fn format_flags(f: u64) -> String {
         (ACK_W_CHILD, "a_wc"),
         (ACK_SUCC, "a_s"),
         (ACK_PARENT, "a_p"),
+        (POISON, "psn"),
     ];
     for &(bit, name) in named {
         if f & bit != 0 {

@@ -51,6 +51,13 @@ struct AddrQueue {
     kind: ActiveKind,
     /// Reduction chain state of the active batch.
     red: Option<Arc<ReductionInfo>>,
+    /// Sticky failure-propagation flag: a cancelled/failed task released
+    /// this address, so every task ordered after it (FIFO) is a
+    /// transitive successor and must be cancelled on activation. Mirrors
+    /// the wait-free system's POISON bit, which persists on the chain's
+    /// last access; a poisoned queue is therefore never removed from the
+    /// shard while its domain may still gain registrants.
+    poisoned: bool,
 }
 
 impl AddrQueue {
@@ -60,6 +67,7 @@ impl AddrQueue {
             active: Vec::new(),
             kind: ActiveKind::None,
             red: None,
+            poisoned: false,
         }
     }
 
@@ -167,6 +175,11 @@ unsafe impl DependencySystem for LockingDeps {
                 if let Some(prev) = q.active.last().copied() {
                     hooks.edge(prev, task, addr, 0);
                 }
+                if q.poisoned {
+                    // Ordered after a failed task on this address: cancel
+                    // before the readiness transition can publish it.
+                    unsafe { (*task).mark_cancelled() };
+                }
                 if let Some(ready) = unsafe { Self::activate(q, w, addr, hooks.nworkers()) } {
                     newly_ready = Some(ready);
                 }
@@ -209,12 +222,21 @@ unsafe impl DependencySystem for LockingDeps {
                 debug_assert!(false, "release of unregistered access");
                 continue;
             };
+            // Invariant: `register` put this task into `active` before it
+            // could run, and `fully_done` runs exactly once per task — so
+            // the entry must still be there. Not user-reachable; a miss
+            // here means the release protocol itself is broken.
             let pos = q
                 .active
                 .iter()
                 .position(|&p| p == task)
-                .expect("task not active on release");
+                .expect("release protocol invariant: task not in active set");
             q.active.swap_remove(pos);
+            // Failure propagation: a cancelled task releasing an address
+            // taints everything ordered after it on that address.
+            if t.is_cancelled() {
+                q.poisoned = true;
+            }
             if q.active.is_empty() {
                 // Batch finished: combine a reduction batch exactly once.
                 if let ActiveKind::Reduction(_) = q.kind
@@ -227,7 +249,15 @@ unsafe impl DependencySystem for LockingDeps {
                 // immediately-following compatible entry.
                 while let Some(front) = q.waiting.front() {
                     if q.active.is_empty() || q.compatible(front.mode) {
-                        let w = q.waiting.pop_front().unwrap();
+                        // Invariant: `front()` above observed an entry and
+                        // the shard lock is held — the pop cannot miss.
+                        let w = q
+                            .waiting
+                            .pop_front()
+                            .expect("queue invariant: observed front vanished");
+                        if q.poisoned {
+                            unsafe { (*w.task).mark_cancelled() };
+                        }
                         if let Some(ready) = unsafe { Self::activate(q, w, addr, hooks.nworkers()) }
                         {
                             to_ready.push(ready);
@@ -236,7 +266,10 @@ unsafe impl DependencySystem for LockingDeps {
                         break;
                     }
                 }
-                if q.active.is_empty() && q.waiting.is_empty() {
+                // A poisoned queue is kept so late registrants in the
+                // same domain still observe the failure (the wait-free
+                // POISON bit persists on the chain the same way).
+                if q.active.is_empty() && q.waiting.is_empty() && !q.poisoned {
                     shard.remove(&key);
                 }
             }
@@ -255,6 +288,21 @@ unsafe impl DependencySystem for LockingDeps {
 
     fn kind(&self) -> DepsKind {
         DepsKind::Locking
+    }
+
+    fn reset_faults(&self) {
+        // Poisoned queues persist within a run so late registrants on a
+        // failed address still observe the failure (the locking mirror
+        // of the wait-free chain's persistent POISON flag). At a run
+        // boundary that lineage ends: clear the flags and drop queues
+        // that were only kept alive by them.
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            shard.retain(|_, q| {
+                q.poisoned = false;
+                !q.active.is_empty() || !q.waiting.is_empty()
+            });
+        }
     }
 }
 
@@ -504,6 +552,75 @@ mod tests {
             }
             h.complete(t);
         }
+    }
+
+    #[test]
+    fn poison_propagates_along_queue() {
+        let h = Harness::new();
+        let x = 1u64;
+        let a = h.spawn(None, Deps::new().write(&x));
+        let b = h.spawn(None, Deps::new().write(&x));
+        let c = h.spawn(None, Deps::new().write(&x));
+        unsafe { (*a).mark_cancelled() };
+        h.complete(a);
+        assert!(h.is_ready(b), "poisoned successor is still released");
+        assert!(unsafe { (*b).is_cancelled() });
+        h.complete(b);
+        assert!(
+            unsafe { (*c).is_cancelled() },
+            "poison is transitive through cancelled tasks"
+        );
+        h.complete(c);
+    }
+
+    #[test]
+    fn poison_outlives_a_drained_queue() {
+        let h = Harness::new();
+        let x = 1u64;
+        let a = h.spawn(None, Deps::new().write(&x));
+        unsafe { (*a).mark_cancelled() };
+        h.complete(a); // queue drains with no waiters
+        let late = h.spawn(None, Deps::new().write(&x));
+        assert!(h.is_ready(late));
+        assert!(
+            unsafe { (*late).is_cancelled() },
+            "late registrant on a poisoned address is cancelled"
+        );
+        h.complete(late);
+    }
+
+    #[test]
+    fn reader_batch_poisoned_by_failed_writer() {
+        let h = Harness::new();
+        let x = 1u64;
+        let w = h.spawn(None, Deps::new().write(&x));
+        let r1 = h.spawn(None, Deps::new().read(&x));
+        let r2 = h.spawn(None, Deps::new().read(&x));
+        unsafe { (*w).mark_cancelled() };
+        h.complete(w);
+        assert!(h.is_ready(r1) && h.is_ready(r2));
+        assert!(unsafe { (*r1).is_cancelled() } && unsafe { (*r2).is_cancelled() });
+        h.complete(r1);
+        h.complete(r2);
+    }
+
+    #[test]
+    fn poison_crosses_addresses_through_multi_access_tasks() {
+        let h = Harness::new();
+        let x = 1u64;
+        let y = 2u64;
+        let a = h.spawn(None, Deps::new().write(&x));
+        let b = h.spawn(None, Deps::new().write(&x).write(&y));
+        let c = h.spawn(None, Deps::new().write(&y));
+        unsafe { (*a).mark_cancelled() };
+        h.complete(a);
+        assert!(unsafe { (*b).is_cancelled() }, "poisoned via x");
+        h.complete(b);
+        assert!(
+            unsafe { (*c).is_cancelled() },
+            "b's cancellation taints its y access too"
+        );
+        h.complete(c);
     }
 
     #[test]

@@ -272,6 +272,33 @@ pub unsafe trait DependencySystem: Send + Sync {
 
     /// Implementation identifier.
     fn kind(&self) -> DepsKind;
+
+    /// Clear run-scoped failure-propagation state at a run boundary
+    /// (called by the runtime between runs, never concurrently with
+    /// register/complete traffic). The wait-free system's POISON flags
+    /// live on the per-run access chains and are reclaimed with the
+    /// tasks, so the default is a no-op; the locking system's sticky
+    /// poisoned address queues outlive their tasks by design (late
+    /// registrants of the same run must still observe the failure) and
+    /// are dropped here so the next run starts clean.
+    fn reset_faults(&self) {}
+
+    /// Barrier-scoped variant of [`DependencySystem::reset_faults`] for
+    /// recovery *inside* a run: `parent`'s child dependency domain is
+    /// still open (its body has not returned), so poison state reachable
+    /// only through that domain — the wait-free system's chain-bottom
+    /// accesses, which future registrants link after — is healed too.
+    /// The default forwards to [`DependencySystem::reset_faults`], which
+    /// covers the locking system's address queues.
+    ///
+    /// # Safety
+    /// `parent` must be live, the caller must be the thread executing
+    /// its body (single-creator invariant), and no tasks may be in
+    /// flight (taskwait barrier): the reset clears otherwise-monotone
+    /// ASM flag bits and must not race deliveries.
+    unsafe fn reset_faults_under(&self, _parent: *mut Task) {
+        self.reset_faults();
+    }
 }
 
 /// Instantiate the dependency system of the given kind.

@@ -107,6 +107,19 @@ impl WaitFreeDeps {
         }
         self.stats.deliveries.fetch_add(1, Ordering::Relaxed);
 
+        // Rule 0: poison — a predecessor's failure reached this access.
+        // On blocking edges the poisoned message *is* the releasing
+        // satisfiability, so the mark always lands before Rule 1 can
+        // hand the task to the scheduler. An access that was already
+        // satisfied before this delivery belongs to a task that may
+        // legitimately be running (reader concurrency, same-op reduction
+        // chains): it is *not* cancelled — the access keeps the POISON
+        // bit and still forwards it down-chain (Rule 6), so blocking
+        // successors are poisoned either way.
+        if old & flags::POISON == 0 && new & flags::POISON != 0 && !flags::is_satisfied(old) {
+            unsafe { (*a.task).mark_cancelled() };
+        }
+
         // Rule 1: readiness — the owning task lost one blocker. One
         // completion's `deliver_all` may fire this for many successors
         // (e.g. a writer releasing a reader batch); the runtime's hooks
@@ -165,6 +178,10 @@ impl WaitFreeDeps {
         // Rule 6: final propagation to the successor.
         if crossed(old, new, flags::succ_final_guard) {
             // Leaving a reduction chain: fold private slots first.
+            // Invariant (not user-reachable): `register` attaches
+            // `ReductionInfo` to every access whose TYPE bits say
+            // reduction before the access is published on a chain, so a
+            // reduction-typed state word implies the info is present.
             if flags::is_reduction(new) && new & flags::SUCC_SAME_RED == 0 {
                 let info = a.reduction.as_ref().expect("reduction access without info");
                 unsafe { info.combine_into_target() };
@@ -176,11 +193,18 @@ impl WaitFreeDeps {
             if new & (flags::SUCC_RED | flags::SUCC_SAME_RED) != 0 {
                 f |= flags::RED_TOKEN;
             }
+            // Failure propagation: the final message is the only one that
+            // carries poison (early forwards target accesses whose tasks
+            // may already run).
+            if new & flags::POISON != 0 {
+                f |= flags::POISON;
+            }
             mb.push(Message::with_ack(succ, f, a_ptr, flags::ACK_SUCC));
         }
 
         // Rule 7: domain closed with no successor — report upward.
         if crossed(old, new, flags::parent_notify_guard) {
+            // Same registration invariant as Rule 6 above.
             if flags::is_reduction(new) && new & flags::UP_SAME_RED == 0 {
                 let info = a.reduction.as_ref().expect("reduction access without info");
                 unsafe { info.combine_into_target() };
@@ -259,6 +283,11 @@ unsafe impl DependencySystem for WaitFreeDeps {
         }
         self.stats.accesses.fetch_add(n as u64, Ordering::Relaxed);
         let alloc = hooks.allocator();
+        // Invariant (not user-reachable in practice): `Layout::array`
+        // only fails when `n * size_of::<DataAccess>()` overflows
+        // `isize`, i.e. an access list of ~10^17 entries — allocation
+        // would fail long before. Kept as `expect` rather than a typed
+        // error so the wait-free registration path stays infallible.
         let layout = Layout::array::<DataAccess>(n).expect("access array layout");
         let arr = alloc.alloc(layout) as *mut DataAccess;
         t.accesses = arr;
@@ -394,9 +423,12 @@ unsafe impl DependencySystem for WaitFreeDeps {
         // linked below (i.e. the address never appeared in our domain).
         if !t.accesses.is_null() {
             let decls = unsafe { t.decls() };
+            // A failed (or poisoned) task taints every access it owns, so
+            // Rule 6 forwards the poison to all blocking successors.
+            let poison = if t.is_cancelled() { flags::POISON } else { 0 };
             for (i, d) in decls.iter().enumerate() {
                 let a_ptr = unsafe { t.accesses.add(i) };
-                let mut cf = flags::COMPLETE;
+                let mut cf = flags::COMPLETE | poison;
                 if !bottom.is_some_and(|b| b.contains_key(&d.addr)) {
                     cf |= flags::NO_MORE_CHILD;
                 }
@@ -418,6 +450,22 @@ unsafe impl DependencySystem for WaitFreeDeps {
 
     fn kind(&self) -> DepsKind {
         DepsKind::WaitFree
+    }
+
+    unsafe fn reset_faults_under(&self, parent: *mut Task) {
+        // POISON persists on the chain-bottom accesses of `parent`'s
+        // still-open domain (they outlive their completed tasks until
+        // the parent's own body_done, and every future registrant links
+        // after them — Rule 6 would forward the poison). At a quiescent
+        // barrier no deliveries are in flight, so clearing the flag is
+        // the one safe non-monotone transition: the failure's lineage
+        // ends here and the next phase registers on clean chains.
+        let bottom = unsafe { (*parent).child_bottom_ref() };
+        for (_, &last) in bottom.into_iter().flatten() {
+            unsafe { &*last }
+                .flags
+                .fetch_and(!flags::POISON, Ordering::AcqRel);
+        }
     }
 }
 
@@ -809,6 +857,87 @@ mod tests {
             deliveries <= accesses * flags::FLAG_COUNT as u64,
             "avg deliveries per access exceeds |F|: {deliveries} for {accesses}"
         );
+    }
+
+    #[test]
+    fn poison_propagates_along_blocking_chain() {
+        let h = Harness::new();
+        let x = 1u64;
+        let a = h.spawn(None, Deps::new().write(&x));
+        let b = h.spawn(None, Deps::new().write(&x));
+        let c = h.spawn(None, Deps::new().write(&x));
+        unsafe { (*a).mark_cancelled() };
+        h.complete(a);
+        assert!(h.is_ready(b), "poisoned successor is still released");
+        assert!(unsafe { (*b).is_cancelled() }, "direct successor poisoned");
+        h.complete(b);
+        assert!(h.is_ready(c));
+        assert!(
+            unsafe { (*c).is_cancelled() },
+            "poison is transitive through cancelled tasks"
+        );
+        h.complete(c);
+    }
+
+    #[test]
+    fn poison_reaches_readers_behind_failed_writer() {
+        let h = Harness::new();
+        let x = 1u64;
+        let w = h.spawn(None, Deps::new().write(&x));
+        let r = h.spawn(None, Deps::new().read(&x));
+        unsafe { (*w).mark_cancelled() };
+        h.complete(w);
+        assert!(h.is_ready(r));
+        assert!(
+            unsafe { (*r).is_cancelled() },
+            "reader blocked on failed writer is poisoned"
+        );
+        h.complete(r);
+    }
+
+    #[test]
+    fn concurrent_reader_peers_are_not_cancelled() {
+        let h = Harness::new();
+        let x = 1u64;
+        let w = h.spawn(None, Deps::new().write(&x));
+        let r1 = h.spawn(None, Deps::new().read(&x));
+        let r2 = h.spawn(None, Deps::new().read(&x));
+        let w2 = h.spawn(None, Deps::new().write(&x));
+        h.complete(w);
+        assert!(h.is_ready(r1) && h.is_ready(r2));
+        // r1 fails while r2 (already released) runs concurrently.
+        unsafe { (*r1).mark_cancelled() };
+        h.complete(r1);
+        assert!(
+            !unsafe { (*r2).is_cancelled() },
+            "a failed reader must not cancel an already-released peer"
+        );
+        h.complete(r2);
+        assert!(h.is_ready(w2));
+        assert!(
+            unsafe { (*w2).is_cancelled() },
+            "the blocking successor of a failed reader is poisoned"
+        );
+        h.complete(w2);
+    }
+
+    #[test]
+    fn poison_crosses_addresses_through_multi_access_tasks() {
+        let h = Harness::new();
+        let x = 1u64;
+        let y = 2u64;
+        let a = h.spawn(None, Deps::new().write(&x));
+        let b = h.spawn(None, Deps::new().write(&x).write(&y));
+        let c = h.spawn(None, Deps::new().write(&y));
+        unsafe { (*a).mark_cancelled() };
+        h.complete(a);
+        assert!(unsafe { (*b).is_cancelled() }, "poisoned via x");
+        h.complete(b);
+        assert!(
+            unsafe { (*c).is_cancelled() },
+            "b's cancellation taints its y access too"
+        );
+        h.complete(c);
     }
 
     #[test]

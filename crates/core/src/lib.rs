@@ -49,7 +49,8 @@ pub use deps::reduction::RedOp;
 pub use deps::{AccessDecl, AccessMode, Deps, DepsKind};
 pub use platform::{Platform, Topology};
 pub use runtime::{
-    HeldTask, RunReport, Runtime, RuntimeConfig, RuntimeStats, SpawnCapture, TaskCtx, TaskEpilogue,
+    FAULT_PANIC_PREFIX, FailureKind, FaultPlan, HeldTask, RunOutcome, RunReport, Runtime,
+    RuntimeConfig, RuntimeStats, SpawnCapture, TaskCtx, TaskEpilogue, TaskFailure,
 };
 pub use sched::{NodeOpStats, SchedKind, SchedOpStats};
 pub use task::{TaskBody, TaskId};

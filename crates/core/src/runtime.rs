@@ -116,7 +116,94 @@ impl HeldTask {
     pub unsafe fn from_raw(p: *mut Task) -> Self {
         Self(p)
     }
+
+    /// Transfer a cancellation mark onto the held task before releasing
+    /// it: the body will be skipped, while the completion protocol
+    /// (countdowns, taskwaits, reclamation) still runs. The replay
+    /// engine uses this to mirror the dependency systems' failure
+    /// poisoning onto frozen-graph successors.
+    pub fn mark_cancelled(&self) {
+        // SAFETY: the handle owns a live, unreleased task.
+        unsafe { (*self.0).mark_cancelled() };
+    }
 }
+
+/// Deterministic fault-injection plan ([`RuntimeConfig::with_fault_plan`]).
+///
+/// Faults are injected at the top of the task-body `catch_unwind` scope,
+/// so an injected panic exercises exactly the same isolation, failure
+/// recording and cancellation propagation paths as a real body panic.
+/// Only *eligible* bodies tick the injection counter: the root task and
+/// internal `taskwait_on` helper tasks are skipped, and when
+/// [`FaultPlan::panic_in_worker`] is set only bodies executing on that
+/// worker count. The counter resets at the start of every
+/// [`Runtime::run_outcome`], so `panic_at_nth` means "the nth eligible
+/// body of this run" — fully deterministic whenever body execution order
+/// is (serialized chains, or a single worker).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the derived selections (delay injection).
+    pub seed: u64,
+    /// Panic in the nth eligible task body of the run (0-based).
+    pub panic_at_nth: Option<u64>,
+    /// Restrict the injection counter to bodies executing on this worker.
+    pub panic_in_worker: Option<usize>,
+    /// Busy-delay injected into a seed-derived ~1/8 of eligible bodies
+    /// (jitter amplification for schedule-perturbation testing);
+    /// 0 disables.
+    pub delay_ns: u64,
+}
+
+impl FaultPlan {
+    /// A plan that panics in the nth eligible task body (0-based).
+    pub fn panic_at(n: u64) -> Self {
+        Self {
+            seed: 0,
+            panic_at_nth: Some(n),
+            panic_in_worker: None,
+            delay_ns: 0,
+        }
+    }
+
+    /// A plan that never fires — every injection check still runs, so
+    /// this measures the full bookkeeping overhead of an armed plan
+    /// (the `fig19_chaos` no-fault-overhead row).
+    pub fn never() -> Self {
+        Self {
+            seed: 0,
+            panic_at_nth: None,
+            panic_in_worker: None,
+            delay_ns: 0,
+        }
+    }
+
+    /// Restrict the injection counter to worker `w`.
+    pub fn in_worker(mut self, w: usize) -> Self {
+        self.panic_in_worker = Some(w);
+        self
+    }
+
+    /// Set the selection seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the injected busy-delay (0 disables).
+    pub fn with_delay_ns(mut self, ns: u64) -> Self {
+        self.delay_ns = ns;
+        self
+    }
+}
+
+/// Message prefix of panics raised by the fault injector. A process-wide
+/// panic hook (installed once, the first time a runtime with a
+/// [`FaultPlan`] is built) suppresses the default stderr backtrace spew
+/// for payloads carrying this prefix — injected faults are expected and
+/// reported through [`RunOutcome`], not the console. All other panics
+/// pass through to the previously installed hook untouched. Tests that
+/// plant their own panics can reuse the prefix for quiet output.
+pub const FAULT_PANIC_PREFIX: &str = "nanotask fault injection";
 
 /// Runtime configuration: the complete §6 ablation space.
 #[derive(Debug, Clone)]
@@ -211,6 +298,15 @@ pub struct RuntimeConfig {
     pub flight_every: u64,
     /// Snapshots the flight-recorder ring retains.
     pub flight_capacity: usize,
+    /// Stall watchdog: when set, a monitor thread trips after tasks have
+    /// been pending with no completed body for this long, failing the
+    /// run with a [`FailureKind::WatchdogStall`] diagnostic (flight
+    /// snapshot + queue depths) instead of hanging forever. `None`
+    /// (default) disables the monitor entirely — no extra thread.
+    pub watchdog: Option<std::time::Duration>,
+    /// Deterministic fault injection ([`FaultPlan`]); `None` (default)
+    /// removes every injection check from the body hot path.
+    pub fault_plan: Option<FaultPlan>,
     /// Name shown by benchmark harnesses.
     pub label: &'static str,
 }
@@ -249,6 +345,8 @@ impl RuntimeConfig {
             metrics_sample: 32,
             flight_every: 0,
             flight_capacity: 64,
+            watchdog: None,
+            fault_plan: None,
             label: "optimized",
         }
     }
@@ -478,6 +576,20 @@ impl RuntimeConfig {
         self
     }
 
+    /// Arm the stall watchdog (see [`RuntimeConfig::watchdog`]): fail a
+    /// run with a diagnostic after `timeout` of pending-but-stalled
+    /// tasks instead of hanging.
+    pub fn with_watchdog(mut self, timeout: std::time::Duration) -> Self {
+        self.watchdog = Some(timeout);
+        self
+    }
+
+    /// Install a deterministic fault-injection plan (see [`FaultPlan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Set the NUMA-node count from the environment/host
     /// ([`crate::platform::Topology::detect`]): `NANOTASK_NUMA_NODES`
     /// when set, a deterministic host-parallelism-based fallback
@@ -536,6 +648,87 @@ impl RunReport {
     }
 }
 
+/// How a [`TaskFailure`] came about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A task body panicked; the panic was caught at the body seam and
+    /// the worker kept running.
+    Panic,
+    /// A worker thread terminated abnormally outside a task body
+    /// (body panics are caught, so this indicates runtime-internal
+    /// failure). Recorded at shutdown by the graceful join.
+    WorkerLost,
+    /// The stall watchdog tripped: tasks were pending but no body
+    /// completed within the configured window. The message carries the
+    /// stall diagnostic (queue depths, counters, flight snapshot).
+    WatchdogStall,
+}
+
+/// One recorded failure: which task failed, where, and why. Collected
+/// into [`RunOutcome::failures`] by [`Runtime::run_outcome`].
+#[derive(Debug, Clone)]
+pub struct TaskFailure {
+    /// Id of the failing task (0 for non-task failures such as
+    /// [`FailureKind::WatchdogStall`] / [`FailureKind::WorkerLost`]).
+    pub task: TaskId,
+    /// The failing task's label.
+    pub label: &'static str,
+    /// Worker the failure was observed on.
+    pub worker: usize,
+    /// Panic payload message or diagnostic text.
+    pub message: String,
+    /// Failure class.
+    pub kind: FailureKind,
+}
+
+/// Result of one fallible run ([`Runtime::run_outcome`]).
+///
+/// A failed task body does not kill its worker or the process: the panic
+/// becomes a [`TaskFailure`], the failed task's transitive successors
+/// are *cancelled* (they still run the full completion protocol — the
+/// graph drains, taskwaits release, no task leaks — but their bodies are
+/// skipped), and the run terminates normally with the failures listed
+/// here. The infallible [`Runtime::run`] is a thin wrapper that panics
+/// with [`RunOutcome::summary`] when this is not [`RunOutcome::is_ok`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOutcome {
+    /// Every failure observed during the run, in recording order.
+    pub failures: Vec<TaskFailure>,
+    /// Task bodies skipped by failure-propagation cancellation during
+    /// this run (the failed tasks themselves are not counted here).
+    pub tasks_cancelled: u64,
+    /// Whether the task graph drained completely. `false` only on the
+    /// watchdog-stall path, where the run gave up on a stuck graph (its
+    /// remaining tasks are abandoned, not reclaimed).
+    pub completed: bool,
+}
+
+impl RunOutcome {
+    /// No failures were recorded (cancellation count is necessarily 0).
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line human-readable account of the failures.
+    pub fn summary(&self) -> String {
+        if self.is_ok() {
+            return "ok".to_string();
+        }
+        let mut s = format!(
+            "{} failure(s), {} task(s) cancelled",
+            self.failures.len(),
+            self.tasks_cancelled
+        );
+        for f in &self.failures {
+            s.push_str(&format!(
+                "; [{:?}] task {} ({}) on worker {}: {}",
+                f.kind, f.task, f.label, f.worker, f.message
+            ));
+        }
+        s
+    }
+}
+
 /// Aggregate runtime counters.
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeStats {
@@ -575,6 +768,12 @@ pub(crate) struct Metrics {
     pub max_inline_depth: MaxGauge,
     pub inline_routed: Counter,
     pub nested_spawns: Counter,
+    /// Task bodies that panicked (caught at the body seam).
+    pub tasks_failed: Counter,
+    /// Task bodies skipped by failure-propagation cancellation.
+    pub tasks_cancelled: Counter,
+    /// Stall-watchdog trips.
+    pub watchdog_trips: Counter,
     /// Task-body execution time (sampled).
     pub task_exec_ns: Histogram,
     /// Ready-queue wait: scheduler hand-off → body start (sampled).
@@ -617,6 +816,9 @@ impl Metrics {
             max_inline_depth: registry.max_gauge("nanotask_max_inline_depth"),
             inline_routed: registry.counter("nanotask_inline_routed_total"),
             nested_spawns: registry.counter("nanotask_nested_spawns_total"),
+            tasks_failed: registry.counter("nanotask_tasks_failed_total"),
+            tasks_cancelled: registry.counter("nanotask_tasks_cancelled_total"),
+            watchdog_trips: registry.counter("nanotask_watchdog_trips_total"),
             task_exec_ns: registry.histogram("nanotask_task_exec_ns"),
             queue_wait_ns: registry.histogram("nanotask_queue_wait_ns"),
             release_batch_tasks: registry.histogram("nanotask_release_batch_tasks"),
@@ -678,6 +880,20 @@ pub(crate) struct Shared {
     pub capture_generation: AtomicU64,
     pub next_id: AtomicU64,
     pub shutdown: AtomicBool,
+    /// Failures recorded since the current run started (drained into
+    /// [`RunOutcome::failures`] when it ends).
+    pub failures: Mutex<Vec<TaskFailure>>,
+    /// Monotone count of task-body failures over the runtime's lifetime
+    /// — the cheap per-iteration probe the replay engine reads
+    /// ([`TaskCtx::failure_count`]).
+    pub failed_count: AtomicU64,
+    /// Eligible-body counter of the fault injector (reset per run).
+    pub fault_tick: AtomicU64,
+    /// Watchdog coordination: whether a fallible run is in flight,
+    /// whether the monitor tripped for it, and the stall diagnostic.
+    pub run_active: AtomicBool,
+    pub watchdog_tripped: AtomicBool,
+    pub watchdog_diag: Mutex<String>,
     /// Registry-backed counters, gauges and histograms. The life-cycle
     /// counters (created/executed/freed/live), the fast-path counters
     /// (`inline_runs`, `max_inline_depth`, `inline_routed` — the
@@ -695,6 +911,7 @@ impl Shared {
     ///
     /// # Safety
     /// The returned pointer is valid until handed to [`Shared::free_task`].
+    #[allow(clippy::too_many_arguments)]
     unsafe fn alloc_task(
         &self,
         worker: usize,
@@ -1163,6 +1380,37 @@ impl TaskCtx<'_> {
         self.worker.shared.metrics.nested_spawns.value()
     }
 
+    /// Whether the current task was cancelled by failure propagation
+    /// (its body was skipped; bodies observing this are epilogue-driven
+    /// helpers such as the replay engine's per-node hooks).
+    pub fn task_cancelled(&self) -> bool {
+        unsafe { (*self.task).is_cancelled() }
+    }
+
+    /// Monotone count of task-body failures recorded by this runtime.
+    /// Snapshot-diff it around a phase to detect failures cheaply (the
+    /// replay engine probes this once per iteration).
+    pub fn failure_count(&self) -> u64 {
+        self.worker.shared.failed_count.load(Ordering::Acquire)
+    }
+
+    /// Clear the dependency systems' run-scoped failure-propagation
+    /// state (poisoned address chains/queues) from *inside* a run.
+    ///
+    /// Only call this from the root body at a barrier — directly after
+    /// [`TaskCtx::taskwait`] with no tasks in flight — so the reset
+    /// cannot race dependency registration or release traffic. The
+    /// replay engine uses it at the end of a faulted iteration: the
+    /// iteration boundary becomes the recovery point, and the next
+    /// iteration's tasks register on clean addresses instead of
+    /// inheriting the poison for the rest of the run.
+    pub fn reset_fault_propagation(&self) {
+        // SAFETY: `self.task` is the live task this ctx executes, we are
+        // its body thread, and the caller guarantees the barrier (no
+        // tasks in flight) — the contract of `reset_faults_under`.
+        unsafe { self.worker.shared.deps.reset_faults_under(self.task) };
+    }
+
     /// Release a task created by [`TaskCtx::spawn_held`], handing it to
     /// the scheduler. Must be called exactly once per handle.
     ///
@@ -1392,12 +1640,96 @@ impl TaskCtx<'_> {
             .iter()
             .find(|d| d.addr == addr && d.mode.is_reduction())
             .expect("no reduction access declared on this address");
+        // Invariant (not user-reachable): a body only runs after
+        // `register` attached `ReductionInfo` to every reduction decl.
         let info = d
             .reduction
             .as_ref()
             .expect("reduction info not attached (task not registered?)");
         unsafe { info.slot(self.worker.id) as *mut T }
     }
+}
+
+/// Install the process-wide panic hook that silences injected-fault
+/// panics (see [`FAULT_PANIC_PREFIX`]). Installed at most once; every
+/// other panic is forwarded to the previously installed hook.
+fn install_fault_panic_hook() {
+    static HOOK: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.as_str())
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .is_some_and(|s| s.starts_with(FAULT_PANIC_PREFIX));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// SplitMix64 finalizer — the fault injector's seed-derived selection.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Fault-injection check, run at the top of the body `catch_unwind`
+/// scope (so an injected panic takes exactly the real-failure path).
+/// See [`FaultPlan`] for the eligibility and determinism contract.
+fn maybe_inject_fault(w: &WorkerCtx, t: *mut Task, plan: &FaultPlan) {
+    let (parent, label, id) = unsafe { ((*t).parent, (*t).label, (*t).id) };
+    if parent.is_null() || label == "taskwait_on" {
+        return;
+    }
+    if let Some(wid) = plan.panic_in_worker
+        && w.id != wid
+    {
+        return;
+    }
+    let tick = w.shared.fault_tick.fetch_add(1, Ordering::Relaxed);
+    if plan.panic_at_nth == Some(tick) {
+        std::panic::panic_any(format!(
+            "{FAULT_PANIC_PREFIX}: task {id} ({label}) on worker {}",
+            w.id
+        ));
+    }
+    if plan.delay_ns > 0 && splitmix(plan.seed ^ tick) & 7 == 0 {
+        let t0 = std::time::Instant::now();
+        while (t0.elapsed().as_nanos() as u64) < plan.delay_ns {
+            core::hint::spin_loop();
+        }
+    }
+}
+
+/// A task body panicked: convert the payload into a [`TaskFailure`],
+/// mark the task cancelled (so `body_done` poisons its successors
+/// through the dependency system) and bump the failure counters.
+#[cold]
+fn record_body_failure(w: &WorkerCtx, t: *mut Task, payload: Box<dyn std::any::Any + Send>) {
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    let (id, label) = unsafe { ((*t).id, (*t).label) };
+    unsafe { (*t).mark_cancelled() };
+    w.shared.metrics.tasks_failed.inc(w.id);
+    // AcqRel: a `failure_count` reader that observes this increment also
+    // observes the failure record and the cancelled bit.
+    w.shared.failed_count.fetch_add(1, Ordering::AcqRel);
+    w.shared.failures.lock().push(TaskFailure {
+        task: id,
+        label,
+        worker: w.id,
+        message,
+        kind: FailureKind::Panic,
+    });
 }
 
 /// Run one task body (no completion protocol), then its epilogue hook
@@ -1432,9 +1764,25 @@ fn run_body(w: &WorkerCtx, t: *mut Task) {
             capture_cache: core::cell::Cell::new(None),
         };
         let body = unsafe { (*t).take_body() }.expect("task executed twice");
-        body(&ctx);
+        if unsafe { (*t).is_cancelled() } {
+            // Cancelled by failure propagation: skip the body (dropping
+            // it releases its captured state) but still run the epilogue
+            // and, in the caller, the full completion protocol — the
+            // graph must drain cleanly, only the work is skipped.
+            drop(body);
+            m.tasks_cancelled.inc(w.id);
+        } else if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(plan) = &w.shared.cfg.fault_plan {
+                maybe_inject_fault(w, t, plan);
+            }
+            body(&ctx);
+        })) {
+            record_body_failure(w, t, payload);
+        }
         // SAFETY: only the executing worker touches the epilogue after
-        // publication (same confinement as `take_body`).
+        // publication (same confinement as `take_body`). The epilogue
+        // runs even for cancelled/failed tasks: it drives the replay
+        // engine's per-iteration countdown, which must drain.
         if let Some((epi, tag)) = unsafe { (*t).take_epilogue() } {
             epi.run(&ctx, tag);
         }
@@ -1568,6 +1916,69 @@ fn finish_subtree(w: &WorkerCtx, t: *mut Task) {
     }
 }
 
+/// Build the stall diagnostic the watchdog attaches to its
+/// [`FailureKind::WatchdogStall`] failure: life-cycle counters,
+/// per-scheduler queue depths and the flight-recorder tail.
+fn build_stall_diagnostic(shared: &Shared) -> String {
+    let m = &shared.metrics;
+    let mut s = format!(
+        "stall: {} live task(s), {} executed, {} created, {} freed, {} failed; \
+         scheduler ~{} queued",
+        m.live_tasks.value(),
+        m.tasks_executed.value(),
+        m.tasks_created.value(),
+        m.tasks_freed.value(),
+        m.tasks_failed.value(),
+        shared.sched.approx_len(),
+    );
+    let nodes = shared.sched.node_stats();
+    if !nodes.is_empty() {
+        s.push_str(&format!("; node stats {nodes:?}"));
+    }
+    let frames = m.flight.frames();
+    if let Some(last) = frames.last() {
+        s.push_str(&format!(
+            "; flight[{} frame(s), last @tick {}]",
+            frames.len(),
+            last.tick
+        ));
+    }
+    s
+}
+
+/// Stall-watchdog monitor loop ([`RuntimeConfig::watchdog`]): while a
+/// fallible run is active, trip when tasks are live but the executed
+/// counter has not moved for the configured window. Tripping records a
+/// diagnostic and raises `watchdog_tripped`; the run's poll loop turns
+/// that into a [`FailureKind::WatchdogStall`] failure and returns
+/// instead of hanging. Cancelled-body completions count as progress, so
+/// a draining cancellation wave never trips the watchdog.
+fn watchdog_loop(shared: &Shared, timeout: std::time::Duration) {
+    let poll = (timeout / 4).max(std::time::Duration::from_millis(1));
+    let mut last_executed = shared.metrics.tasks_executed.value();
+    let mut last_progress = std::time::Instant::now();
+    loop {
+        std::thread::sleep(poll);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let executed = shared.metrics.tasks_executed.value();
+        let idle = !shared.run_active.load(Ordering::Acquire)
+            || shared.metrics.live_tasks.value() == 0
+            || shared.watchdog_tripped.load(Ordering::Acquire);
+        if executed != last_executed || idle {
+            last_executed = executed;
+            last_progress = std::time::Instant::now();
+            continue;
+        }
+        if last_progress.elapsed() >= timeout {
+            *shared.watchdog_diag.lock() = build_stall_diagnostic(shared);
+            shared.metrics.watchdog_trips.inc(0);
+            shared.watchdog_tripped.store(true, Ordering::Release);
+        }
+    }
+}
+
 /// Worker-thread main loop.
 fn worker_loop(w: WorkerCtx) {
     let shared = Arc::clone(&w.shared);
@@ -1612,6 +2023,7 @@ fn worker_loop(w: WorkerCtx) {
 pub struct Runtime {
     shared: Arc<Shared>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
     main: WorkerCtx,
 }
 
@@ -1668,8 +2080,24 @@ impl Runtime {
             capture_generation: AtomicU64::new(0),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            failures: Mutex::new(Vec::new()),
+            failed_count: AtomicU64::new(0),
+            fault_tick: AtomicU64::new(0),
+            run_active: AtomicBool::new(false),
+            watchdog_tripped: AtomicBool::new(false),
+            watchdog_diag: Mutex::new(String::new()),
             metrics,
             cfg,
+        });
+        if shared.cfg.fault_plan.is_some() {
+            install_fault_panic_hook();
+        }
+        let watchdog = shared.cfg.watchdog.map(|timeout| {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("nanotask-watchdog".to_string())
+                .spawn(move || watchdog_loop(&s, timeout))
+                .expect("spawn watchdog")
         });
         let threads = (1..shared.cfg.workers)
             .map(|id| {
@@ -1684,14 +2112,45 @@ impl Runtime {
         Self {
             shared,
             threads,
+            watchdog,
             main,
         }
     }
 
     /// Execute `root` as the root task on the calling thread (worker 0)
     /// and block until the entire task graph has completed.
+    ///
+    /// Infallible wrapper over [`Runtime::run_outcome`]: panics with
+    /// [`RunOutcome::summary`] if any task failed or the watchdog
+    /// tripped. (Before fault isolation existed, a failing body killed
+    /// its worker and hung or aborted the process — the wrapper keeps
+    /// the panicking contract while making it survivable upstream.)
     pub fn run(&self, root: impl FnOnce(&TaskCtx) + Send + 'static) {
+        let outcome = self.run_outcome(root);
+        assert!(
+            outcome.is_ok(),
+            "nanotask run failed: {}",
+            outcome.summary()
+        );
+    }
+
+    /// Execute `root` as the root task and report failures instead of
+    /// panicking: every caught body panic becomes a
+    /// [`TaskFailure`] and the failed task's transitive successors are
+    /// cancelled (completion protocol intact, bodies skipped). See
+    /// [`RunOutcome`].
+    pub fn run_outcome(&self, root: impl FnOnce(&TaskCtx) + Send + 'static) -> RunOutcome {
         let shared = &self.shared;
+        shared.failures.lock().clear();
+        if shared.failed_count.load(Ordering::Acquire) > 0 {
+            // A previous run failed: clear run-scoped poison state so
+            // this run starts clean (no-op on the wait-free system).
+            shared.deps.reset_faults();
+        }
+        shared.fault_tick.store(0, Ordering::Relaxed);
+        shared.watchdog_tripped.store(false, Ordering::Release);
+        let cancelled0 = shared.metrics.tasks_cancelled.value();
+        shared.run_active.store(true, Ordering::Release);
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
         shared.metrics.tasks_created.inc(0);
         shared.metrics.live_tasks.inc(0);
@@ -1715,7 +2174,15 @@ impl Runtime {
         // nothing even after the task object is reclaimed.
         execute_task(&self.main, t);
         let mut backoff = Backoff::new();
+        let mut stalled = false;
         while !done.load(Ordering::Acquire) {
+            if shared.watchdog_tripped.load(Ordering::Acquire) {
+                // Stuck graph: abandon it (its tasks cannot drain by
+                // definition of the trip) and fail the run instead of
+                // hanging forever.
+                stalled = true;
+                break;
+            }
             let got = {
                 let mut rec = self.main.recorder.borrow_mut();
                 shared.sched.get_ready(0, Some(&mut rec))
@@ -1732,7 +2199,23 @@ impl Runtime {
                 noise.check(0, &mut rec);
             }
         }
+        shared.run_active.store(false, Ordering::Release);
         self.main.recorder.borrow_mut().flush();
+        let mut failures = std::mem::take(&mut *shared.failures.lock());
+        if stalled {
+            failures.push(TaskFailure {
+                task: 0,
+                label: "watchdog",
+                worker: 0,
+                message: std::mem::take(&mut *shared.watchdog_diag.lock()),
+                kind: FailureKind::WatchdogStall,
+            });
+        }
+        RunOutcome {
+            failures,
+            tasks_cancelled: shared.metrics.tasks_cancelled.value() - cancelled0,
+            completed: !stalled,
+        }
     }
 
     /// Runtime configuration.
@@ -1904,7 +2387,25 @@ impl Drop for Runtime {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         for t in self.threads.drain(..) {
-            t.join().expect("worker panicked");
+            if t.join().is_err() {
+                // Task-body panics are caught at the body seam, so a
+                // dead worker means runtime-internal failure. Record it
+                // (visible to `metrics_snapshot` readers and any
+                // subsequent outcome drain) instead of aborting the
+                // process from a destructor.
+                self.shared.metrics.tasks_failed.inc(0);
+                self.shared.failed_count.fetch_add(1, Ordering::AcqRel);
+                self.shared.failures.lock().push(TaskFailure {
+                    task: 0,
+                    label: "worker",
+                    worker: 0,
+                    message: "worker thread terminated by panic outside a task body".to_string(),
+                    kind: FailureKind::WorkerLost,
+                });
+            }
+        }
+        if let Some(wd) = self.watchdog.take() {
+            let _ = wd.join();
         }
     }
 }
@@ -2436,5 +2937,157 @@ mod tests {
         let s = rt.stats();
         assert_eq!(s.tasks_created, s.tasks_freed);
         unsafe { drop(Box::from_raw(x)) };
+    }
+
+    /// A panicking body mid-chain is isolated, reported, and cancels
+    /// exactly its transitive successors — on both dependency systems —
+    /// and the runtime stays fully usable afterwards.
+    #[test]
+    fn body_panic_cancels_successors_and_reports() {
+        for cfg in [
+            RuntimeConfig::optimized(),
+            RuntimeConfig::without_waitfree_deps(),
+        ] {
+            let label = cfg.label;
+            // Armed-but-never-firing plan: installs the quiet panic hook.
+            let rt = small(cfg.with_fault_plan(FaultPlan::never()));
+            let data = Box::leak(Box::new(0u64)) as *mut u64;
+            let p = crate::SendPtr::new(data);
+            let outcome = rt.run_outcome(move |ctx| {
+                for i in 0..10 {
+                    ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| {
+                        if i == 3 {
+                            std::panic::panic_any(format!("{FAULT_PANIC_PREFIX}: planted"));
+                        }
+                        unsafe { *p.get() += 1 };
+                    });
+                }
+            });
+            assert_eq!(outcome.failures.len(), 1, "{label}: {}", outcome.summary());
+            assert_eq!(outcome.failures[0].kind, FailureKind::Panic);
+            assert_eq!(outcome.failures[0].label, "task");
+            assert_eq!(outcome.tasks_cancelled, 6, "{label}: tasks 4..9 cancelled");
+            assert!(outcome.completed, "{label}");
+            assert_eq!(unsafe { *data }, 3, "{label}: predecessors ran");
+            assert_eq!(rt.live_tasks(), 0, "{label}: no leaked tasks");
+            let s = rt.stats();
+            assert_eq!(s.tasks_created, s.tasks_freed, "{label}");
+            // The runtime survives: a fault-free run works afterwards.
+            let again = rt.run_outcome(move |ctx| {
+                for _ in 0..10 {
+                    ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                        *p.get() += 1;
+                    });
+                }
+            });
+            assert!(again.is_ok(), "{label}: {}", again.summary());
+            assert_eq!(again.tasks_cancelled, 0, "{label}");
+            assert_eq!(unsafe { *data }, 13, "{label}");
+            unsafe { drop(Box::from_raw(data)) };
+        }
+    }
+
+    /// `FaultPlan::panic_at` fires in the nth eligible body, counted per
+    /// run (deterministic on a single worker).
+    #[test]
+    fn fault_plan_injects_deterministically() {
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(1)
+                .with_fault_plan(FaultPlan::panic_at(2)),
+        );
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = crate::SendPtr::new(data);
+        for round in 0..2 {
+            let outcome = rt.run_outcome(move |ctx| {
+                for _ in 0..8 {
+                    ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                        *p.get() += 1;
+                    });
+                }
+            });
+            assert_eq!(outcome.failures.len(), 1, "round {round}");
+            assert!(
+                outcome.failures[0].message.starts_with(FAULT_PANIC_PREFIX),
+                "round {round}: {}",
+                outcome.failures[0].message
+            );
+            assert_eq!(outcome.tasks_cancelled, 5, "round {round}: tasks 3..8");
+            assert_eq!(rt.live_tasks(), 0, "round {round}");
+        }
+        // Two runs, two predecessor pairs: the tick reset per run.
+        assert_eq!(unsafe { *data }, 4);
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    /// The watchdog converts a never-completing graph into a
+    /// `WatchdogStall` failure instead of hanging the run.
+    #[test]
+    fn watchdog_trips_on_stuck_graph() {
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(2)
+                .with_watchdog(std::time::Duration::from_millis(50)),
+        );
+        let outcome = rt.run_outcome(|ctx| {
+            // A held task that is never released: the graph can't drain.
+            let _stuck = ctx.spawn_held("stuck", 0, vec![], |_| {});
+        });
+        assert_eq!(outcome.failures.len(), 1, "{}", outcome.summary());
+        assert_eq!(outcome.failures[0].kind, FailureKind::WatchdogStall);
+        assert!(
+            outcome.failures[0].message.contains("live task"),
+            "diagnostic attached: {}",
+            outcome.failures[0].message
+        );
+        assert!(!outcome.completed);
+        assert_eq!(
+            rt.metrics_snapshot()
+                .counter("nanotask_watchdog_trips_total"),
+            Some(1)
+        );
+    }
+
+    /// The infallible `run` wrapper panics with the failure summary.
+    #[test]
+    fn run_wrapper_panics_on_failure() {
+        let rt = small(RuntimeConfig::optimized().with_fault_plan(FaultPlan::never()));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(|ctx| {
+                ctx.spawn(Deps::new(), |_| {
+                    std::panic::panic_any(format!("{FAULT_PANIC_PREFIX}: planted"));
+                });
+            });
+        }));
+        assert!(caught.is_err(), "run() surfaces the failure by panicking");
+        // The runtime itself survived the failed run.
+        assert_eq!(rt.live_tasks(), 0);
+        rt.run(|ctx| {
+            ctx.spawn(Deps::new(), |_| {});
+        });
+    }
+
+    /// An armed but never-firing plan plus watchdog changes no observable
+    /// life-cycle behavior on a fault-free run.
+    #[test]
+    fn fault_free_run_with_armed_plan_is_identical() {
+        let run_counters = |cfg: RuntimeConfig| {
+            let rt = Runtime::new(cfg.workers(1));
+            let outcome = rt.run_outcome(|ctx| {
+                for _ in 0..25 {
+                    ctx.spawn(Deps::new(), |_| {});
+                }
+            });
+            assert!(outcome.is_ok(), "{}", outcome.summary());
+            let s = rt.stats();
+            (s.tasks_created, s.tasks_executed, s.tasks_freed)
+        };
+        let plain = run_counters(RuntimeConfig::optimized());
+        let armed = run_counters(
+            RuntimeConfig::optimized()
+                .with_fault_plan(FaultPlan::never())
+                .with_watchdog(std::time::Duration::from_secs(5)),
+        );
+        assert_eq!(plain, armed);
     }
 }

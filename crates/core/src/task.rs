@@ -18,12 +18,16 @@
 //!   guard*; the transition to zero marks the task *fully done* (its
 //!   subtree finished, recorded in the `FULLY_DONE` flag bit), which is
 //!   when the parent is notified and taskwaits unblock.
-//! * `removal_refs` (bits 44–62) — one per data access plus one for the
+//! * `removal_refs` (bits 44–61) — one per data access plus one for the
 //!   subtree; the transition to zero allows the memory to be reclaimed.
 //!   Accesses drop their reference when their Atomic State Machine
 //!   reaches its terminal state (see [`crate::deps::wait_free`]), so a
 //!   task object can outlive its execution while successors still read
 //!   its access metadata — without any global reclamation scheme.
+//! * `CANCELLED` (bit 62) — sticky flag set when a predecessor failed
+//!   (or the task itself panicked): the body is skipped but the whole
+//!   countdown/completion protocol above still runs, so poisoned
+//!   subtrees drain without leaks or deadlock.
 //!
 //! Each field decrements independently because the protocol guarantees no
 //! field ever underflows (a decrement would otherwise borrow into the
@@ -61,7 +65,11 @@ const BLOCKERS_BITS: u32 = 20;
 const CHILDREN_SHIFT: u32 = 20;
 const CHILDREN_BITS: u32 = 24;
 const REMOVAL_SHIFT: u32 = 44;
-const REMOVAL_BITS: u32 = 19;
+const REMOVAL_BITS: u32 = 18;
+/// Flag bit: set when the task is poisoned (a transitive predecessor
+/// failed, or its own body panicked). Sticky; the body is skipped but
+/// the completion protocol still runs.
+const CANCELLED: u64 = 1 << 62;
 /// Flag bit: set (once) when `live_children` reached zero.
 const FULLY_DONE: u64 = 1 << 63;
 
@@ -117,8 +125,14 @@ impl TaskState {
     /// count fits its bit field.
     pub fn with_counts(blockers: u64, live_children: u64, removal_refs: u64) -> Self {
         debug_assert!(blockers <= Self::MAX_BLOCKERS, "blockers overflow");
-        debug_assert!(live_children <= Self::MAX_CHILDREN, "live_children overflow");
-        debug_assert!(removal_refs <= Self::MAX_REMOVAL_REFS, "removal_refs overflow");
+        debug_assert!(
+            live_children <= Self::MAX_CHILDREN,
+            "live_children overflow"
+        );
+        debug_assert!(
+            removal_refs <= Self::MAX_REMOVAL_REFS,
+            "removal_refs overflow"
+        );
         Self(AtomicU64::new(
             (blockers << BLOCKERS_SHIFT)
                 | (live_children << CHILDREN_SHIFT)
@@ -154,7 +168,10 @@ impl TaskState {
     #[inline]
     pub fn add_child(&self) {
         let prev = self.0.fetch_add(Self::CHILD, Ordering::AcqRel);
-        debug_assert!(Self::children_of(prev) >= 1, "child added to a finished task");
+        debug_assert!(
+            Self::children_of(prev) >= 1,
+            "child added to a finished task"
+        );
         debug_assert!(
             Self::children_of(prev) < Self::MAX_CHILDREN,
             "live_children overflow"
@@ -195,6 +212,20 @@ impl TaskState {
     #[inline]
     pub fn is_fully_done(&self) -> bool {
         self.0.load(Ordering::Acquire) & FULLY_DONE != 0
+    }
+
+    /// Poison the task: its body will be skipped, the completion
+    /// protocol still runs. Idempotent (single `fetch_or`).
+    #[inline]
+    pub fn mark_cancelled(&self) {
+        self.0.fetch_or(CANCELLED, Ordering::AcqRel);
+    }
+
+    /// Whether the task was poisoned by a failed predecessor (or its
+    /// own panic).
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire) & CANCELLED != 0
     }
 }
 
@@ -407,6 +438,19 @@ impl Task {
         self.state.is_fully_done()
     }
 
+    /// Poison the task (failed predecessor / own panic): skip the body,
+    /// keep the completion protocol. Sticky and idempotent.
+    #[inline]
+    pub fn mark_cancelled(&self) {
+        self.state.mark_cancelled();
+    }
+
+    /// Whether the task was poisoned.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.state.is_cancelled()
+    }
+
     /// Attach the external completion signal (creator, before publish).
     pub fn set_completion_flag(&mut self, flag: Arc<AtomicBool>) {
         self.cold.get_or_insert_with(Box::default).completion_flag = Some(flag);
@@ -545,6 +589,42 @@ mod tests {
         assert!(s.is_fully_done());
         assert!(!s.drop_removal_ref());
         assert!(s.drop_removal_ref()); // removal → 0
+    }
+
+    #[test]
+    fn cancelled_bit_is_sticky_and_disturbs_no_counter() {
+        let s = TaskState::with_counts(2, 2, 2);
+        assert!(!s.is_cancelled());
+        s.mark_cancelled();
+        s.mark_cancelled(); // idempotent
+        assert!(s.is_cancelled());
+        // The full protocol still drains underneath the flag.
+        assert!(!s.unblock());
+        assert!(s.unblock());
+        assert!(!s.drop_child_ref());
+        assert!(s.drop_child_ref());
+        assert!(s.is_fully_done());
+        assert!(s.is_cancelled());
+        assert!(!s.drop_removal_ref());
+        assert!(s.drop_removal_ref());
+    }
+
+    #[test]
+    fn recycled_shell_clears_cancelled_bit() {
+        let mut t = dummy(0);
+        t.mark_cancelled();
+        assert!(t.is_cancelled());
+        t.accesses = core::ptr::null_mut();
+        t.reset_for_recycle();
+        t.reinit_recycled(
+            2,
+            "t2",
+            core::ptr::null_mut(),
+            0,
+            Box::new(|_| {}),
+            Vec::new(),
+        );
+        assert!(!t.is_cancelled());
     }
 
     #[test]

@@ -249,6 +249,20 @@ impl GraphCache {
         )
     }
 
+    /// Drop the graph with this structural hash (no eviction-stash
+    /// entry — an invalidated graph must not seed anything). The engine
+    /// calls this when an iteration of the graph faulted: a cancellation
+    /// wave ran a subset of the recorded bodies, so the frozen schedule
+    /// is no longer trusted and the next occurrence of the shape
+    /// re-records from the dependency system. Dangling predictor edges
+    /// pointing at the removed graph are harmless —
+    /// [`GraphCache::predict_next`] resolves through `get`, which misses.
+    pub fn invalidate(&mut self, hash: u64) {
+        if let Some(idx) = self.position(hash) {
+            self.entries.swap_remove(idx);
+        }
+    }
+
     /// Count one fully-replayed iteration against the graph with this
     /// structural hash.
     pub fn note_replay(&mut self, hash: u64) {
@@ -431,6 +445,27 @@ mod tests {
         assert!(rescans > 0);
         assert_eq!(heap_ops, 0);
         assert_eq!(seeds, 0);
+    }
+
+    #[test]
+    fn invalidate_drops_entry_and_dangling_predictions() {
+        let mut c = GraphCache::new(4);
+        let (a, b) = (graph(0x10), graph(0x20));
+        let (ha, hb) = (a.structural_hash(), b.structural_hash());
+        c.insert(a);
+        c.insert(b);
+        c.note_transition(ha, hb);
+        c.invalidate(hb);
+        assert!(!c.contains(hb));
+        assert!(c.contains(ha));
+        assert_eq!(c.evictions(), 0, "invalidation is not an eviction");
+        assert!(
+            c.predict_next(ha).is_none(),
+            "dangling prediction resolves to a miss"
+        );
+        // Invalidating a missing hash is a no-op.
+        c.invalidate(hb);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

@@ -19,11 +19,11 @@
 
 use core::cell::UnsafeCell;
 use std::sync::Arc;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use nanotask_core::deps::reduction::ReductionInfo;
 use nanotask_core::{
-    Deps, HeldTask, Runtime, SpawnCapture, TaskBody, TaskCtx, TaskEpilogue, TaskId,
+    Deps, HeldTask, RunOutcome, Runtime, SpawnCapture, TaskBody, TaskCtx, TaskEpilogue, TaskId,
 };
 use nanotask_obs::{Counter, Histogram, MaxGauge, Registry};
 use nanotask_trace::EventKind;
@@ -128,6 +128,12 @@ pub struct ReplayReport {
     /// Task spawns served as recycled shells from the task slab during
     /// this run (delta of the runtime's monotone counter).
     pub tasks_recycled: u64,
+    /// Iterations during which at least one task-body failure was
+    /// recorded. Each faulted iteration invalidates the graph it was
+    /// running from (if any) and falls back to the dependency system —
+    /// the next occurrence of the shape re-records from scratch.
+    /// Orthogonal to the hit/miss/pinned classification.
+    pub faulted: usize,
 }
 
 impl ReplayReport {
@@ -189,6 +195,9 @@ impl core::fmt::Display for ReplayReport {
             " | mem: freeze_ns={} graph_bytes={} peak_task_bytes={} recycled={}",
             self.freeze_ns, self.graph_bytes, self.peak_task_bytes, self.tasks_recycled,
         )?;
+        if self.faulted > 0 {
+            write!(f, " | faulted={}", self.faulted)?;
+        }
         if self.partitions > 0 {
             write!(
                 f,
@@ -232,6 +241,7 @@ struct ReplayObs {
     partition_seed_total: Counter,
     freeze_ns: Counter,
     tasks_recycled: Counter,
+    faulted: Counter,
     /// High-water marks, not sums: the largest frozen graph and the task
     /// memory peak the runtime ever reached.
     graph_bytes: MaxGauge,
@@ -263,6 +273,7 @@ impl ReplayObs {
             partition_seed_total: reg.counter("nanotask_replay_partition_seed_total_total"),
             freeze_ns: reg.counter("nanotask_replay_freeze_ns_total"),
             tasks_recycled: reg.counter("nanotask_replay_tasks_recycled_total"),
+            faulted: reg.counter("nanotask_replay_faulted_iterations_total"),
             graph_bytes: reg.max_gauge("nanotask_replay_graph_bytes"),
             peak_task_bytes: reg.max_gauge("nanotask_replay_peak_task_bytes"),
             feed_ns: reg.histogram("nanotask_replay_feed_ns"),
@@ -291,6 +302,7 @@ impl ReplayObs {
         self.partition_seed_total.add(0, r.partition_seed_total);
         self.freeze_ns.add(0, r.freeze_ns);
         self.tasks_recycled.add(0, r.tasks_recycled);
+        self.faulted.add(0, r.faulted as u64);
         self.graph_bytes.record(0, r.graph_bytes);
         self.peak_task_bytes.record(0, r.peak_task_bytes);
     }
@@ -318,6 +330,26 @@ pub trait RunIterative {
     fn run_iterative<F>(&self, iters: usize, body: F) -> ReplayReport
     where
         F: Fn(&TaskCtx) + Send + Sync + 'static;
+
+    /// Fallible variant of [`RunIterative::run_iterative`]: returns the
+    /// replay report together with the run's [`RunOutcome`] instead of
+    /// panicking on task failures.
+    ///
+    /// Failure propagation works during replay too: a fed task whose
+    /// body panics is converted into a structured failure and its
+    /// transitive successors *in the frozen graph* are cancelled through
+    /// the graph's own countdown protocol (their bodies are skipped,
+    /// their completion bookkeeping still runs, nothing leaks). The
+    /// faulted iteration's graph is invalidated from the cache and the
+    /// engine falls back to the dependency system, re-recording the
+    /// shape from a fresh run the next time it appears — so one failed
+    /// iteration never taints later replays. On a *divergent* faulted
+    /// iteration only the fed prefix's successors are cancelled; tasks
+    /// of the dependency-system remainder only observe the failure
+    /// through their own registered accesses.
+    fn run_iterative_outcome<F>(&self, iters: usize, body: F) -> (ReplayReport, RunOutcome)
+    where
+        F: Fn(&TaskCtx) + Send + Sync + 'static;
 }
 
 /// Reduction state of one replayed iteration: a fresh chain instance per
@@ -341,6 +373,14 @@ struct IterState {
     /// Reference data path ([`nanotask_core::RuntimeConfig::replay_compat`]):
     /// sweep reset, no inline-routing composition.
     compat: bool,
+    /// Per-node cancellation marks — the replay mirror of the dependency
+    /// systems' failure poisoning. A failed (or already-cancelled) task
+    /// sets its successors' flags *before* dropping their pending
+    /// references; whichever thread drops the last reference transfers
+    /// the mark onto the released task ([`HeldTask::mark_cancelled`]).
+    /// The countdown's AcqRel release sequence orders the flag store
+    /// before the releasing load, so the transfer never races.
+    poisoned: Box<[AtomicBool]>,
 }
 
 impl IterState {
@@ -363,6 +403,7 @@ impl IterState {
                 remaining: AtomicU32::new(g.members),
             })
             .collect();
+        let poisoned = (0..graph.len()).map(|_| AtomicBool::new(false)).collect();
         Self {
             graph,
             groups,
@@ -370,6 +411,15 @@ impl IterState {
             part,
             routed: AtomicU64::new(0),
             compat,
+            poisoned,
+        }
+    }
+
+    /// Release-time half of the poison transfer: mark the just-released
+    /// node's task cancelled when a predecessor flagged it.
+    fn take_poison(&self, i: usize, h: &HeldTask) {
+        if self.poisoned[i].load(Ordering::Acquire) {
+            h.mark_cancelled();
         }
     }
 
@@ -405,7 +455,9 @@ impl IterState {
             // SAFETY: `t` was published by the creator from a live
             // HeldTask and each node is released exactly once (the
             // pending counter reaches zero once per iteration).
-            ctx.release_held(unsafe { HeldTask::from_raw(t) });
+            let h = unsafe { HeldTask::from_raw(t) };
+            self.take_poison(i as usize, &h);
+            ctx.release_held(h);
         }
     }
 
@@ -470,7 +522,9 @@ impl IterState {
                 self.launched.fetch_add(1, Ordering::Relaxed);
                 // SAFETY: as in `countdown` — published by the
                 // creator, released exactly once.
-                ready.push((part.node_of(s as usize), unsafe { HeldTask::from_raw(t) }));
+                let h = unsafe { HeldTask::from_raw(t) };
+                self.take_poison(s as usize, &h);
+                ready.push((part.node_of(s as usize), h));
             }
         }
         if ready.is_empty() {
@@ -522,6 +576,16 @@ impl IterState {
     /// groups, then release the node's successors (routed when
     /// partitioning is on).
     fn after_body(&self, tc: &TaskCtx, i: usize) {
+        // Failure propagation during replay: a failed task (marked
+        // cancelled by the runtime's panic isolation) or a task that was
+        // itself cancelled poisons its graph successors before their
+        // pending references drop — the flags travel transitively
+        // because cancelled tasks still run this epilogue.
+        if tc.task_cancelled() {
+            for &s in self.graph.succs(i) {
+                self.poisoned[s as usize].store(true, Ordering::Release);
+            }
+        }
         // Last chain member folds the private slots into the target —
         // before releasing successors, which may read it.
         for &(_, gi) in self.graph.red_of(i) {
@@ -607,6 +671,7 @@ impl IterState {
                     // SAFETY: as in `countdown` — published by the
                     // creator (just above), released exactly once.
                     let h = unsafe { HeldTask::from_raw(t) };
+                    self.take_poison(i, &h);
                     let node = p.node_of(i);
                     if !ctx.release_held_inline_to(node, h) {
                         ctx.release_held_batch_to(node, &[h]);
@@ -917,8 +982,21 @@ impl RunIterative for Runtime {
     where
         F: Fn(&TaskCtx) + Send + Sync + 'static,
     {
+        let (report, outcome) = self.run_iterative_outcome(iters, body);
+        assert!(
+            outcome.is_ok(),
+            "nanotask run_iterative failed: {}",
+            outcome.summary()
+        );
+        report
+    }
+
+    fn run_iterative_outcome<F>(&self, iters: usize, body: F) -> (ReplayReport, RunOutcome)
+    where
+        F: Fn(&TaskCtx) + Send + Sync + 'static,
+    {
         if iters == 0 {
-            return ReplayReport::default();
+            return (ReplayReport::default(), RunOutcome::default());
         }
         let cfg = self.config();
         let workers = cfg.workers;
@@ -955,7 +1033,7 @@ impl RunIterative for Runtime {
         let out: Arc<std::sync::Mutex<ReplayReport>> = Arc::default();
         let result = Arc::clone(&out);
         let cap = Arc::clone(&capture);
-        self.run(move |ctx| {
+        let outcome = self.run_outcome(move |ctx| {
             // SAFETY (all `cap.cache()` calls below): root-thread
             // confinement — this closure is the root body.
             macro_rules! cache {
@@ -990,6 +1068,30 @@ impl RunIterative for Runtime {
             let mut report = ReplayReport::default();
 
             for iter in 0..iters {
+                // Fault watch: any task-body failure recorded during
+                // this iteration invalidates the graph it ran from and
+                // drops the engine back to the dependency system — the
+                // shape re-records from a clean run on its next
+                // occurrence.
+                let fails0 = ctx.failure_count();
+                macro_rules! check_faults {
+                    () => {
+                        if ctx.failure_count() != fails0 {
+                            report.faulted += 1;
+                            if let Some(h) = prev_hash {
+                                cache!().invalidate(h);
+                            }
+                            cur = None;
+                            prev_hash = None;
+                            last_probe_hash = None;
+                            // The taskwait barrier just drained every
+                            // task, so the iteration boundary is safe to
+                            // act as the poison-recovery point: the next
+                            // iteration registers on clean addresses.
+                            ctx.reset_fault_propagation();
+                        }
+                    };
+                }
                 if pinned {
                     report.pinned_iterations += 1;
                     since_probe += 1;
@@ -1028,6 +1130,7 @@ impl RunIterative for Runtime {
                         body(ctx);
                         ctx.taskwait();
                     }
+                    check_faults!();
                     report.iterations += 1;
                     continue;
                 }
@@ -1232,6 +1335,7 @@ impl RunIterative for Runtime {
                         ctx.trace_mark(EventKind::ReplayIterEnd, iter as u64);
                     }
                 }
+                check_faults!();
                 report.iterations += 1;
             }
             if let Some(g) = last_graph {
@@ -1261,7 +1365,7 @@ impl RunIterative for Runtime {
         report.tasks_recycled = self.tasks_recycled().saturating_sub(recycled0);
         report.peak_task_bytes = self.peak_task_bytes();
         obs.mirror(&report);
-        report
+        (report, outcome)
     }
 }
 
@@ -2251,5 +2355,136 @@ mod tests {
         assert_eq!(report.pinned_iterations, 0, "give-up disabled");
         check_invariants(&report);
         unsafe { drop(Box::from_raw(slots as *mut [u64])) };
+    }
+
+    #[test]
+    fn fault_during_replay_cancels_successors_and_rerecords() {
+        // Iterations 0 records, 1 replays, 2 replays but node 4 panics:
+        // the fed successors 5..9 must be cancelled through the frozen
+        // graph's countdown protocol, the graph evicted from the cache,
+        // and iteration 3 re-records from a clean dependency-system run.
+        // The armed (but never-firing) plan installs the panic hook that
+        // keeps planted-panic backtraces out of the test output.
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(2)
+                .with_fault_plan(nanotask_core::FaultPlan::never()),
+        );
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = SendPtr::new(data);
+        let iter = Arc::new(AtomicU64::new(0));
+        let (report, outcome) = rt.run_iterative_outcome(5, move |ctx| {
+            let it = iter.fetch_add(1, Ordering::Relaxed);
+            for k in 0..10u64 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| {
+                    if it == 2 && k == 4 {
+                        std::panic::panic_any(format!(
+                            "{}: planted",
+                            nanotask_core::FAULT_PANIC_PREFIX
+                        ));
+                    }
+                    unsafe { *p.get() += 1 };
+                });
+            }
+        });
+        // 10 + 10 + 4 (nodes 0..3 of the faulted iteration) + 10 + 10.
+        assert_eq!(unsafe { *data }, 44);
+        assert_eq!(outcome.failures.len(), 1, "{}", outcome.summary());
+        assert_eq!(outcome.tasks_cancelled, 5, "successors 5..9 skipped");
+        assert!(outcome.completed);
+        assert_eq!(report.faulted, 1, "{report}");
+        assert_eq!(report.rerecords, 2, "faulted graph re-recorded: {report}");
+        assert_eq!(report.replayed, 3, "{report}");
+        assert_eq!(rt.live_tasks(), 0, "no leaked tasks");
+        let s = rt.stats();
+        assert_eq!(s.tasks_created, s.tasks_freed);
+        check_invariants(&report);
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn fault_during_record_falls_back_and_recovers() {
+        // The panic fires while iteration 0 records through the full
+        // dependency system: POISON cancels the chain's tail, the tainted
+        // recording is invalidated, and iteration 1 records again.
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(2)
+                .with_fault_plan(nanotask_core::FaultPlan::never()),
+        );
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = SendPtr::new(data);
+        let iter = Arc::new(AtomicU64::new(0));
+        let (report, outcome) = rt.run_iterative_outcome(4, move |ctx| {
+            let it = iter.fetch_add(1, Ordering::Relaxed);
+            for k in 0..8u64 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| {
+                    if it == 0 && k == 3 {
+                        std::panic::panic_any(format!(
+                            "{}: planted",
+                            nanotask_core::FAULT_PANIC_PREFIX
+                        ));
+                    }
+                    unsafe { *p.get() += 1 };
+                });
+            }
+        });
+        // 3 (faulted record) + 8 + 8 + 8.
+        assert_eq!(unsafe { *data }, 27);
+        assert_eq!(outcome.failures.len(), 1, "{}", outcome.summary());
+        assert_eq!(outcome.tasks_cancelled, 4, "chain tail 4..7 skipped");
+        assert_eq!(report.faulted, 1, "{report}");
+        assert_eq!(report.rerecords, 2, "{report}");
+        assert_eq!(report.replayed, 2, "{report}");
+        assert_eq!(rt.live_tasks(), 0);
+        check_invariants(&report);
+        // A later infallible run on the same runtime is clean.
+        let report = rt.run_iterative(2, move |ctx| {
+            ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| unsafe {
+                *p.get() += 1;
+            });
+        });
+        assert_eq!(report.iterations, 2);
+        assert_eq!(unsafe { *data }, 29);
+        unsafe { drop(Box::from_raw(data)) };
+    }
+
+    #[test]
+    fn partitioned_replay_fault_routes_cancellation() {
+        // The poison transfer must also cover the node-targeted release
+        // paths (routed batches and the inline fast-path keep).
+        let rt = Runtime::new(
+            RuntimeConfig::optimized()
+                .workers(4)
+                .with_numa_nodes(2)
+                .with_replay_partitioning(true)
+                .fast_path(true)
+                .with_fault_plan(nanotask_core::FaultPlan::never()),
+        );
+        let data = Box::leak(Box::new(0u64)) as *mut u64;
+        let p = SendPtr::new(data);
+        let iter = Arc::new(AtomicU64::new(0));
+        let (report, outcome) = rt.run_iterative_outcome(4, move |ctx| {
+            let it = iter.fetch_add(1, Ordering::Relaxed);
+            for k in 0..12u64 {
+                ctx.spawn(Deps::new().readwrite_addr(p.addr()), move |_| {
+                    if it == 2 && k == 6 {
+                        std::panic::panic_any(format!(
+                            "{}: planted",
+                            nanotask_core::FAULT_PANIC_PREFIX
+                        ));
+                    }
+                    unsafe { *p.get() += 1 };
+                });
+            }
+        });
+        // 12 + 12 + 6 (faulted replay prefix) + 12.
+        assert_eq!(unsafe { *data }, 42);
+        assert_eq!(outcome.failures.len(), 1, "{}", outcome.summary());
+        assert_eq!(outcome.tasks_cancelled, 5);
+        assert_eq!(report.faulted, 1);
+        assert_eq!(rt.live_tasks(), 0);
+        check_invariants(&report);
+        unsafe { drop(Box::from_raw(data)) };
     }
 }

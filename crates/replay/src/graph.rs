@@ -516,6 +516,17 @@ impl ReplayGraph {
                     if e.kind != EdgeKind::Successor {
                         continue;
                     }
+                    // A source that predates the captured window is a
+                    // previous phase's last access still linked on the
+                    // address chain (the dependency system reports the
+                    // link even though that task completed long ago —
+                    // seen on records after a fault fallback, which run
+                    // at iteration > 0). Ids are monotone, so it cannot
+                    // be a nested child of *this* record: neither
+                    // tapped nor foreign.
+                    if e.from < lo {
+                        continue;
+                    }
                     if member(e.from) && member(e.to) {
                         tapped_edges += 1;
                     } else {
@@ -529,6 +540,11 @@ impl ReplayGraph {
                     .collect();
                 for e in tap {
                     if e.kind != EdgeKind::Successor {
+                        continue;
+                    }
+                    // Stale chain edge from a previous phase — see the
+                    // bitmap branch above.
+                    if have > 0 && e.from < lo {
                         continue;
                     }
                     match (ids.get(&e.from), ids.get(&e.to)) {

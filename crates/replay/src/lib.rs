@@ -116,4 +116,4 @@ pub use partition::{PartitionStats, Partitioning};
 pub use recorder::{CaptureMode, CapturedDecls, CapturedSpawn, GraphRecorder};
 
 // Re-exported for doc links and downstream convenience.
-pub use nanotask_core::{Runtime, SpawnCapture, TaskCtx};
+pub use nanotask_core::{RunOutcome, Runtime, SpawnCapture, TaskCtx};

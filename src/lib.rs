@@ -51,8 +51,9 @@ pub use nanotask_trace as trace;
 pub use nanotask_workloads as workloads;
 
 pub use nanotask_core::{
-    Deps, DepsKind, Platform, RedOp, RunReport, Runtime, RuntimeConfig, RuntimeStats, SchedKind,
-    SchedOpStats, SendPtr, TaskCtx,
+    Deps, DepsKind, FAULT_PANIC_PREFIX, FailureKind, FaultPlan, Platform, RedOp, RunOutcome,
+    RunReport, Runtime, RuntimeConfig, RuntimeStats, SchedKind, SchedOpStats, SendPtr, TaskCtx,
+    TaskFailure,
 };
 pub use nanotask_replay::{ReplayReport, RunIterative};
 

@@ -67,7 +67,10 @@ fn no_task_leaks_across_benchmarks() {
     // Freed task shells are parked in the recycling slab, not returned
     // to the allocator — so every outstanding block must be exactly one
     // fresh-allocated shell awaiting reuse.
-    assert_eq!(s.alloc.live, s.alloc.recycle_misses, "allocator blocks leaked");
+    assert_eq!(
+        s.alloc.live, s.alloc.recycle_misses,
+        "allocator blocks leaked"
+    );
     assert!(s.alloc.recycle_hits > 0, "repeat runs must recycle shells");
     assert!(s.alloc.peak_live_tasks > 0);
 }

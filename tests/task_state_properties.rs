@@ -198,8 +198,12 @@ fn racing_decrements_have_exactly_one_winner_per_field() {
         let reclaim = Arc::new(AtomicU64::new(0));
         let handles: Vec<_> = (0..THREADS)
             .map(|_| {
-                let (s, rd, dn, rc) =
-                    (Arc::clone(&state), Arc::clone(&ready), Arc::clone(&done), Arc::clone(&reclaim));
+                let (s, rd, dn, rc) = (
+                    Arc::clone(&state),
+                    Arc::clone(&ready),
+                    Arc::clone(&done),
+                    Arc::clone(&reclaim),
+                );
                 thread::spawn(move || {
                     rd.fetch_add(u64::from(s.unblock()), Ordering::Relaxed);
                     dn.fetch_add(u64::from(s.drop_child_ref()), Ordering::Relaxed);
@@ -211,8 +215,16 @@ fn racing_decrements_have_exactly_one_winner_per_field() {
             h.join().unwrap();
         }
         assert_eq!(ready.load(Ordering::Relaxed), 1, "exactly one ready winner");
-        assert_eq!(done.load(Ordering::Relaxed), 1, "exactly one fully-done winner");
-        assert_eq!(reclaim.load(Ordering::Relaxed), 1, "exactly one reclaim winner");
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            1,
+            "exactly one fully-done winner"
+        );
+        assert_eq!(
+            reclaim.load(Ordering::Relaxed),
+            1,
+            "exactly one reclaim winner"
+        );
         assert!(state.is_fully_done());
         assert_eq!(state.pending_children(), 0);
     }
